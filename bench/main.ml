@@ -1,0 +1,685 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   section (Figs. 5-8) plus Bechamel micro-benchmarks of the primitive
+   operations.
+
+   Usage:
+     dune exec bench/main.exe                 # all figures + micros
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --only fig6a # one figure
+     dune exec bench/main.exe -- --no-micro   # skip bechamel section
+     AQV_BENCH_SCALE=2 dune exec bench/main.exe   # larger sweeps
+
+   The paper's testbed ran 1,000-10,000 records; the defaults here are
+   scaled down so the full suite completes in minutes on a laptop (the
+   signature mesh baseline costs Theta(n^2) signatures — the reason the
+   paper itself calls its construction "extremely time-consuming").
+   Shapes, not absolute numbers, are the reproduction target; see
+   EXPERIMENTS.md. *)
+
+module Q = Aqv_num.Rational
+module Prng = Aqv_util.Prng
+module Metrics = Aqv_util.Metrics
+module Signer = Aqv_crypto.Signer
+module Table = Aqv_db.Table
+module Workload = Aqv_db.Workload
+open Aqv
+
+let scale =
+  match Sys.getenv_opt "AQV_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let scaled n = max 2 (int_of_float (float_of_int n *. scale))
+
+let queries_per_point = 50
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let row fmt = Printf.printf fmt
+let header title = Printf.printf "\n== %s ==\n%!" title
+
+(* ----------------------------- contexts ----------------------------- *)
+
+let master_seed = 0xBE7CL
+
+let table_cache : (int, Table.t) Hashtbl.t = Hashtbl.create 8
+
+let table_of n =
+  match Hashtbl.find_opt table_cache n with
+  | Some t -> t
+  | None ->
+    let t = Workload.lines_1d ~n (Prng.create (Int64.add master_seed (Int64.of_int n))) in
+    Hashtbl.add table_cache n t;
+    t
+
+let dry_signer = Signer.counting_sign_dry_run ~signature_size:64
+
+let rsa_keypair = lazy (Signer.generate ~bits:512 Signer.Rsa (Prng.create 4242L))
+let dsa_keypair = lazy (Signer.generate ~bits:512 Signer.Dsa (Prng.create 4243L))
+
+type ctx = { table : Table.t; one : Ifmh.t; multi : Ifmh.t; mesh : Mesh.t }
+
+let ctx_cache : (int, ctx) Hashtbl.t = Hashtbl.create 8
+
+(* dry-signed context: correct structure and sizes, no RSA cost; used by
+   the server-cost and VO-size figures *)
+let ctx_of n =
+  match Hashtbl.find_opt ctx_cache n with
+  | Some c -> c
+  | None ->
+    let table = table_of n in
+    let one = Ifmh.build ~scheme:Ifmh.One_signature table dry_signer in
+    let multi = Ifmh.build ~scheme:Ifmh.Multi_signature table dry_signer in
+    let mesh = Mesh.build table dry_signer in
+    let c = { table; one; multi; mesh } in
+    Hashtbl.add ctx_cache n c;
+    c
+
+let query_rng () = Prng.create 0x5EEDL
+
+(* average total node visits over random instances of a query maker *)
+let avg_server_cost answer make_query =
+  let rng = query_rng () in
+  let total = ref 0 in
+  for _ = 1 to queries_per_point do
+    let q = make_query rng in
+    Metrics.reset ();
+    ignore (answer q);
+    total := !total + Metrics.total_node_visits (Metrics.snapshot ())
+  done;
+  float_of_int !total /. float_of_int queries_per_point
+
+(* ------------------------------ Fig 5 ------------------------------- *)
+
+let fig5a () =
+  header "Fig 5a — signatures needed to build the structure (vs n)";
+  row "%8s %14s %14s %14s\n" "n" "mesh" "multi-sig" "one-sig";
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let table = table_of n in
+      let mesh_sigs, cells = Mesh.count_signatures table in
+      row "%8d %14d %14d %14d\n%!" n mesh_sigs cells 1)
+    [ 100; 200; 400; 600; 800; 1000 ]
+
+let fig5b () =
+  header "Fig 5b — construction time (seconds, real RSA-512 signing)";
+  row "%8s %12s %14s %14s\n" "n" "mesh" "multi-sig" "one-sig";
+  let kp = Lazy.force rsa_keypair in
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let table = table_of n in
+      let _, t_mesh = time (fun () -> Mesh.build table kp) in
+      let _, t_multi = time (fun () -> Ifmh.build ~scheme:Ifmh.Multi_signature table kp) in
+      let _, t_one = time (fun () -> Ifmh.build ~scheme:Ifmh.One_signature table kp) in
+      row "%8d %12.3f %14.3f %14.3f\n%!" n t_mesh t_multi t_one)
+    [ 50; 100; 150; 200 ]
+
+let fig5c () =
+  header "Fig 5c — size of the verification structure (MB)";
+  row "%8s %12s %14s %14s %14s\n" "n" "mesh" "multi-sig" "one-sig" "shared-FMH";
+  let mb b = float_of_int b /. 1e6 in
+  let sig_bytes = 64 and digest = 32 in
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let table = table_of n in
+      let mesh_sigs, cells = Mesh.count_signatures table in
+      (* mesh: per-cell sorted list + signatures with span metadata *)
+      let mesh_bytes = (cells * ((n * 8) + 32)) + (mesh_sigs * (sig_bytes + 32)) in
+      let itree = Itree.build (Table.domain table) (Table.functions table) in
+      let imh_nodes = Itree.node_count itree in
+      let subdomains = Itree.leaf_count itree in
+      (* the paper's storage model: one full FMH-tree per subdomain *)
+      let fmh_per_subdomain = ((2 * (n + 2)) - 1) * digest in
+      let base = (imh_nodes * (digest + 24)) + (subdomains * fmh_per_subdomain) in
+      let one_bytes = base + sig_bytes in
+      let multi_bytes = base + (subdomains * sig_bytes) in
+      (* what this implementation actually stores: persistent FMH trees
+         sharing all untouched nodes; each boundary crossing copies two
+         leaf-to-root paths *)
+      let log2n =
+        let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+        go 0 (n + 2)
+      in
+      let shared_fmh_nodes =
+        ((2 * (n + 2)) - 1) + (Itree.intersection_count itree * 4 * (log2n + 1))
+      in
+      let shared_bytes =
+        (imh_nodes * (digest + 24)) + (shared_fmh_nodes * digest)
+        + (subdomains * sig_bytes)
+      in
+      row "%8d %12.2f %14.2f %14.2f %14.2f\n%!" n (mb mesh_bytes) (mb multi_bytes)
+        (mb one_bytes) (mb shared_bytes))
+    [ 100; 200; 400; 600; 800 ]
+
+(* ------------------------------ Fig 6 ------------------------------- *)
+
+let server_cost_figure ~title ~make_query () =
+  header title;
+  row "%8s %12s %14s %14s\n" "n" "mesh" "one-sig" "multi-sig";
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let c = ctx_of n in
+      let mesh = avg_server_cost (Mesh.answer c.mesh) (make_query c.table) in
+      let one = avg_server_cost (Server.answer c.one) (make_query c.table) in
+      let multi = avg_server_cost (Server.answer c.multi) (make_query c.table) in
+      row "%8d %12.1f %14.1f %14.1f\n%!" n mesh one multi)
+    [ 100; 200; 300; 400; 500 ]
+
+let topk_query k table rng = Query.top_k ~x:(Workload.weight_point table rng) ~k
+
+let knn_query k table rng =
+  let x = Workload.weight_point table rng in
+  let scores = Workload.scores_at table x in
+  let y = snd scores.(Prng.int rng (Array.length scores)) in
+  Query.knn ~x ~k ~y
+
+let range_query size table rng =
+  let x = Workload.weight_point table rng in
+  let l, u = Workload.range_for_result_size table ~x ~size in
+  Query.range ~x ~l ~u
+
+let fig6a =
+  server_cost_figure ~title:"Fig 6a — server cost, top-3 queries (nodes/cells visited)"
+    ~make_query:(topk_query 3)
+
+let fig6b =
+  server_cost_figure ~title:"Fig 6b — server cost, 3NN queries (nodes/cells visited)"
+    ~make_query:(knn_query 3)
+
+let fig6c =
+  server_cost_figure
+    ~title:"Fig 6c — server cost, range queries with |R|=3 (nodes/cells visited)"
+    ~make_query:(range_query 3)
+
+let fig6d () =
+  header "Fig 6d — server cost vs result size (n fixed)";
+  let n = scaled 500 in
+  row "(n = %d)\n" n;
+  row "%8s %12s %14s %14s\n" "|q|" "mesh" "one-sig" "multi-sig";
+  let c = ctx_of n in
+  List.iter
+    (fun frac ->
+      let size = max 1 (n * frac / 100) in
+      let mk = range_query size in
+      let mesh = avg_server_cost (Mesh.answer c.mesh) (mk c.table) in
+      let one = avg_server_cost (Server.answer c.one) (mk c.table) in
+      let multi = avg_server_cost (Server.answer c.multi) (mk c.table) in
+      row "%8d %12.1f %14.1f %14.1f\n%!" size mesh one multi)
+    [ 10; 20; 40; 60; 80; 100 ]
+
+(* ------------------------------ Fig 7 ------------------------------- *)
+
+type real_ctx = {
+  rtable : Table.t;
+  rone : Ifmh.t;
+  rmulti : Ifmh.t;
+  rmesh : Mesh.t;
+  rone_dsa : Ifmh.t;
+  rmulti_dsa : Ifmh.t;
+}
+
+let fig7_n () = scaled 300
+
+let real_ctx =
+  lazy
+    (let table = table_of (fig7_n ()) in
+     let kp = Lazy.force rsa_keypair in
+     let kpd = Lazy.force dsa_keypair in
+     {
+       rtable = table;
+       rone = Ifmh.build ~scheme:Ifmh.One_signature table kp;
+       rmulti = Ifmh.build ~scheme:Ifmh.Multi_signature table kp;
+       rmesh = Mesh.build table kp;
+       rone_dsa = Ifmh.build ~scheme:Ifmh.One_signature table kpd;
+       rmulti_dsa = Ifmh.build ~scheme:Ifmh.Multi_signature table kpd;
+     })
+
+(* (avg seconds, hash ops per run, signature verifies per run) *)
+let verify_stats ~repeat verify =
+  Metrics.reset ();
+  let before = Metrics.snapshot () in
+  let (), total = time (fun () -> for _ = 1 to repeat do verify () done) in
+  let after = Metrics.snapshot () in
+  let d = Metrics.diff after before in
+  (total /. float_of_int repeat, d.Metrics.hash_ops / repeat, d.Metrics.verify_ops / repeat)
+
+let result_sizes () = List.map (fun p -> max 1 (fig7_n () * p / 100)) [ 10; 25; 50; 75; 100 ]
+
+let fig7_query ?(rng = query_rng ()) size table =
+  let x = Workload.weight_point table rng in
+  let l, u = Workload.range_for_result_size table ~x ~size in
+  Query.range ~x ~l ~u
+
+(* average VO size over several random query points *)
+let avg_vo_size ~samples make_size =
+  let rng = query_rng () in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    total := !total + make_size rng
+  done;
+  float_of_int !total /. float_of_int samples
+
+let verifier_for keypair table =
+  Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+    ~verify_signature:keypair.Signer.verify
+
+let mesh_verify c kp q resp =
+  match
+    Mesh.verify ~template:(Table.template c.rtable) ~domain:(Table.domain c.rtable)
+      ~verify_signature:kp.Signer.verify q resp
+  with
+  | Ok () -> ()
+  | Error r -> failwith (Semantics.rejection_to_string r)
+
+let fig7_rows ~show () =
+  let c = Lazy.force real_ctx in
+  let kp = Lazy.force rsa_keypair in
+  let ctx = verifier_for kp c.rtable in
+  List.iter
+    (fun size ->
+      let q = fig7_query size c.rtable in
+      let mresp = Mesh.answer c.rmesh q in
+      let oresp = Server.answer c.rone q in
+      let uresp = Server.answer c.rmulti q in
+      let sm = verify_stats ~repeat:3 (fun () -> mesh_verify c kp q mresp) in
+      let so =
+        verify_stats ~repeat:3 (fun () ->
+            match Client.verify ctx q oresp with Ok () -> () | Error _ -> failwith "reject")
+      in
+      let su =
+        verify_stats ~repeat:3 (fun () ->
+            match Client.verify ctx q uresp with Ok () -> () | Error _ -> failwith "reject")
+      in
+      show size sm so su)
+    (result_sizes ())
+
+let fig7a () =
+  header "Fig 7a — user verification time vs result size (ms)";
+  row "(n = %d, RSA-512)\n" (fig7_n ());
+  row "%8s %12s %14s %14s\n" "|q|" "mesh" "one-sig" "multi-sig";
+  fig7_rows () ~show:(fun size (tm, _, _) (tone, _, _) (tmulti, _, _) ->
+      row "%8d %12.2f %14.2f %14.2f\n%!" size (tm *. 1000.) (tone *. 1000.) (tmulti *. 1000.))
+
+let fig7b () =
+  header "Fig 7b — hash operations during verification vs result size";
+  row "%8s %12s %14s %14s\n" "|q|" "mesh" "one-sig" "multi-sig";
+  fig7_rows () ~show:(fun size (_, hm, _) (_, ho, _) (_, hu, _) ->
+      row "%8d %12d %14d %14d\n%!" size hm ho hu)
+
+let fig7c () =
+  header "Fig 7c — signature verification time, RSA vs DSA";
+  let c = Lazy.force real_ctx in
+  let kp = Lazy.force rsa_keypair in
+  let kpd = Lazy.force dsa_keypair in
+  let d = Aqv_crypto.Sha256.digest "probe" in
+  let sig_rsa = kp.Signer.sign d in
+  let sig_dsa = kpd.Signer.sign d in
+  let (), t_rsa = time (fun () -> for _ = 1 to 200 do ignore (kp.Signer.verify d sig_rsa) done) in
+  let (), t_dsa = time (fun () -> for _ = 1 to 200 do ignore (kpd.Signer.verify d sig_dsa) done) in
+  row "%-24s %10.3f ms/op\n" "RSA-512 verify" (t_rsa /. 200. *. 1000.);
+  row "%-24s %10.3f ms/op\n" "DSA-512/160 verify" (t_dsa /. 200. *. 1000.);
+  (* end-to-end verification under each signature algorithm *)
+  let q = fig7_query (max 1 (fig7_n () / 10)) c.rtable in
+  List.iter
+    (fun (name, index, key) ->
+      let resp = Server.answer index q in
+      let ctx = verifier_for key c.rtable in
+      let t, _, _ =
+        verify_stats ~repeat:5 (fun () ->
+            match Client.verify ctx q resp with Ok () -> () | Error _ -> failwith "reject")
+      in
+      row "%-24s %10.3f ms end-to-end\n%!" name (t *. 1000.))
+    [
+      ("one-sig RSA", c.rone, kp);
+      ("one-sig DSA", c.rone_dsa, kpd);
+      ("multi-sig RSA", c.rmulti, kp);
+      ("multi-sig DSA", c.rmulti_dsa, kpd);
+    ]
+
+let fig7d () =
+  header "Fig 7d — total verification time incl. signature ops (ms)";
+  row "%8s %12s %14s %14s %12s\n" "|q|" "mesh" "one-sig" "multi-sig" "mesh #sigs";
+  fig7_rows () ~show:(fun size (tm, _, vm) (tone, _, _) (tmulti, _, _) ->
+      row "%8d %12.2f %14.2f %14.2f %12d\n%!" size (tm *. 1000.) (tone *. 1000.)
+        (tmulti *. 1000.) vm)
+
+(* ------------------------------ Fig 8 ------------------------------- *)
+
+let fig8a () =
+  header "Fig 8a — VO size vs result size (bytes, n fixed)";
+  let n = scaled 500 in
+  row "(n = %d)\n" n;
+  row "%8s %12s %14s %14s\n" "|q|" "mesh" "one-sig" "multi-sig";
+  let c = ctx_of n in
+  List.iter
+    (fun frac ->
+      let size = max 1 (n * frac / 100) in
+      let mesh =
+        avg_vo_size ~samples:20 (fun rng ->
+            Mesh.vo_size_bytes (Mesh.answer c.mesh (fig7_query ~rng size c.table)).Mesh.vo)
+      in
+      let one =
+        avg_vo_size ~samples:20 (fun rng ->
+            Vo.size_bytes (Server.answer c.one (fig7_query ~rng size c.table)).Server.vo)
+      in
+      let multi =
+        avg_vo_size ~samples:20 (fun rng ->
+            Vo.size_bytes (Server.answer c.multi (fig7_query ~rng size c.table)).Server.vo)
+      in
+      row "%8d %12.0f %14.0f %14.0f\n%!" size mesh one multi)
+    [ 5; 10; 20; 40; 60; 80; 100 ]
+
+let fig8b () =
+  header "Fig 8b — VO size vs database size (bytes, |q| fixed)";
+  let size = 20 in
+  row "(|q| = %d)\n" size;
+  row "%8s %12s %14s %14s\n" "n" "mesh" "one-sig" "multi-sig";
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let c = ctx_of n in
+      let mesh =
+        avg_vo_size ~samples:20 (fun rng ->
+            Mesh.vo_size_bytes (Mesh.answer c.mesh (fig7_query ~rng size c.table)).Mesh.vo)
+      in
+      let one =
+        avg_vo_size ~samples:20 (fun rng ->
+            Vo.size_bytes (Server.answer c.one (fig7_query ~rng size c.table)).Server.vo)
+      in
+      let multi =
+        avg_vo_size ~samples:20 (fun rng ->
+            Vo.size_bytes (Server.answer c.multi (fig7_query ~rng size c.table)).Server.vo)
+      in
+      row "%8d %12.0f %14.0f %14.0f\n%!" n mesh one multi)
+    [ 100; 200; 300; 400; 500 ]
+
+(* ----------------------------- ablations ---------------------------- *)
+
+(* DESIGN.md par.6: design-choice ablations beyond the paper's figures. *)
+
+let abl_montgomery () =
+  header "Ablation — Montgomery vs plain modular exponentiation (RSA-512-shaped)";
+  let module Z = Aqv_bigint.Bigint in
+  let rng = Prng.create 31337L in
+  let m = Z.succ (Z.shift_left (Z.random_bits rng 511) 1) (* odd 512-bit *) in
+  let b = Z.random_below rng m in
+  let e = Z.random_bits rng 512 in
+  let reps = 50 in
+  let (), t_mont =
+    time (fun () -> for _ = 1 to reps do ignore (Z.mod_pow ~base:b ~exp:e ~modulus:m) done)
+  in
+  let (), t_plain =
+    time (fun () ->
+        for _ = 1 to reps do ignore (Z.mod_pow_plain ~base:b ~exp:e ~modulus:m) done)
+  in
+  row "%-28s %10.3f ms/op\n" "Montgomery (windowed)" (t_mont /. float_of_int reps *. 1000.);
+  row "%-28s %10.3f ms/op\n" "plain square-and-multiply" (t_plain /. float_of_int reps *. 1000.);
+  row "speedup: %.1fx\n" (t_plain /. t_mont);
+  (* multiplication sizes around the Karatsuba threshold (~832 bits) *)
+  List.iter
+    (fun bits ->
+      let a = Z.random_bits rng bits and b2 = Z.random_bits rng bits in
+      let reps = max 4 (2_000_000 / (bits * bits / 640)) in
+      let (), t = time (fun () -> for _ = 1 to reps do ignore (Z.mul a b2) done) in
+      row "mul %5d-bit %22.1f us/op\n" bits (t /. float_of_int reps *. 1e6))
+    [ 512; 1024; 4096; 16384 ]
+
+let abl_depth () =
+  header "Ablation — IMH depth: randomized vs lexicographic insertion order";
+  row "%8s %10s %12s %12s %12s %12s\n" "n" "leaves" "max(rand)" "avg(rand)" "max(lex)"
+    "avg(lex)";
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let table = table_of n in
+      let rand = Itree.build (Table.domain table) (Table.functions table) in
+      let lex =
+        Itree.build ~order:`Lexicographic (Table.domain table) (Table.functions table)
+      in
+      row "%8d %10d %12d %12.1f %12d %12.1f\n%!" n (Itree.leaf_count rand)
+        (Itree.max_depth rand) (Itree.average_leaf_depth rand) (Itree.max_depth lex)
+        (Itree.average_leaf_depth lex))
+    [ 50; 100; 200 ]
+
+let abl_storage () =
+  header "Ablation — FMH storage: persistent snapshots vs recompute-on-query";
+  let n = scaled 300 in
+  let table = table_of n in
+  row "(n = %d)\n" n;
+  let build storage =
+    Gc.compact ();
+    let before_heap = Gc.((stat ()).live_words) in
+    let index, t_build =
+      time (fun () ->
+          Ifmh.build ~fmh_storage:storage ~scheme:Ifmh.One_signature table dry_signer)
+    in
+    Gc.compact ();
+    let after_heap = Gc.((stat ()).live_words) in
+    (index, t_build, after_heap - before_heap)
+  in
+  let per_query index =
+    let rng = query_rng () in
+    Metrics.reset ();
+    let before = Metrics.snapshot () in
+    for _ = 1 to 20 do
+      ignore (Server.answer index (topk_query 3 table rng))
+    done;
+    let d = Metrics.diff (Metrics.snapshot ()) before in
+    d.Metrics.hash_ops / 20
+  in
+  let idx_snap, t_snap, mem_snap = build Sorting.Snapshot in
+  let h_snap = per_query idx_snap in
+  let idx_lazy, t_lazy, mem_lazy = build Sorting.Recompute in
+  let h_lazy = per_query idx_lazy in
+  row "%-12s %14s %16s %18s\n" "storage" "build (s)" "live words" "hashes/query";
+  row "%-12s %14.2f %16d %18d\n" "snapshot" t_snap mem_snap h_snap;
+  row "%-12s %14.2f %16d %18d\n%!" "recompute" t_lazy mem_lazy h_lazy
+
+let abl_vo_compact () =
+  header "Ablation — VO encoding: plain vs record-deduplicated (one-signature)";
+  row "%8s %12s %12s %10s\n" "n" "plain B" "compact B" "saving";
+  List.iter
+    (fun n ->
+      let n = scaled n in
+      let c = ctx_of n in
+      let rng = query_rng () in
+      let plain = ref 0 and compact = ref 0 in
+      for _ = 1 to 20 do
+        let resp = Server.answer c.one (topk_query 3 c.table rng) in
+        plain := !plain + Vo.size_bytes resp.Server.vo;
+        compact := !compact + Vo.size_bytes_compact resp.Server.vo
+      done;
+      row "%8d %12d %12d %9.0f%%\n%!" n (!plain / 20) (!compact / 20)
+        (100. *. (1. -. (float_of_int !compact /. float_of_int !plain))))
+    [ 100; 200; 300; 400 ]
+
+let abl_correlation () =
+  header "Ablation — owner cost vs data correlation (slope spread of the lines)";
+  row "%12s %10s %12s %14s\n" "slope range" "leaves" "imh nodes" "mesh sigs";
+  List.iter
+    (fun slope_range ->
+      let n = scaled 150 in
+      let table = Workload.lines_1d ~slope_range ~n (Prng.create 777L) in
+      let itree = Itree.build (Table.domain table) (Table.functions table) in
+      let sigs, _ = Mesh.count_signatures table in
+      row "%12d %10d %12d %14d\n%!" slope_range (Itree.leaf_count itree)
+        (Itree.node_count itree) sigs)
+    [ 10; 100; 1000; 10000 ]
+
+let ext_2d () =
+  header "Extension — 2-D weight domains (exact-simplex subdomains)";
+  row "%8s %10s %12s %14s %14s\n" "n" "leaves" "build (s)" "one-sig cost" "multi cost";
+  List.iter
+    (fun n ->
+      let table = Workload.scored ~n ~dims:2 (Prng.create 888L) in
+      let one, t_build =
+        time (fun () -> Ifmh.build ~scheme:Ifmh.One_signature table dry_signer)
+      in
+      let multi = Ifmh.build ~scheme:Ifmh.Multi_signature table dry_signer in
+      let cost index =
+        let rng = query_rng () in
+        let total = ref 0 in
+        for _ = 1 to 20 do
+          let x = Workload.weight_point table rng in
+          Metrics.reset ();
+          ignore (Server.answer index (Query.top_k ~x ~k:3));
+          total := !total + Metrics.total_node_visits (Metrics.snapshot ())
+        done;
+        float_of_int !total /. 20.
+      in
+      row "%8d %10d %12.2f %14.1f %14.1f\n%!" n
+        (Itree.leaf_count (Ifmh.itree one))
+        t_build (cost one) (cost multi))
+    [ 6; 9; 12; 15 ]
+
+let abl_batch () =
+  header "Ablation — batched queries: shared vs per-query subdomain proofs";
+  let n = scaled 300 in
+  let c = ctx_of n in
+  row "(n = %d, one-signature, m top-k queries at one input)\n" n;
+  row "%8s %14s %16s %10s\n" "m" "batched B" "separate B" "saving";
+  let rng = query_rng () in
+  let x = Workload.weight_point c.table rng in
+  List.iter
+    (fun m ->
+      let queries = List.init m (fun k -> Query.top_k ~x ~k:(k + 1)) in
+      let resp = Batch.answer c.one ~x queries in
+      let batched = Batch.size_bytes resp in
+      let separate =
+        List.fold_left
+          (fun acc (sr : Server.response) -> acc + Vo.size_bytes sr.Server.vo)
+          0 (Batch.to_responses resp)
+      in
+      row "%8d %14d %16d %9.0f%%\n%!" m batched separate
+        (100. *. (1. -. (float_of_int batched /. float_of_int separate))))
+    [ 1; 2; 4; 8; 16 ]
+
+let abl_count () =
+  header "Ablation — verifiable COUNT vs full range retrieval (bytes on the wire)";
+  let n = scaled 400 in
+  let c = ctx_of n in
+  row "(n = %d, one-signature)\n" n;
+  row "%8s %12s %16s %12s\n" "|match|" "count VO" "range VO+R(q)" "ratio";
+  let rng = query_rng () in
+  List.iter
+    (fun frac ->
+      let size = max 1 (n * frac / 100) in
+      let x = Workload.weight_point c.table rng in
+      let l, u = Workload.range_for_result_size c.table ~x ~size in
+      let cresp = Count.answer c.one ~x ~l ~u in
+      let rresp = Server.answer c.one (Query.range ~x ~l ~u) in
+      let count_bytes = Count.size_bytes cresp in
+      let range_bytes = Vo.size_bytes rresp.Server.vo + Server.response_result_size rresp in
+      row "%8d %12d %16d %11.1fx\n%!" size count_bytes range_bytes
+        (float_of_int range_bytes /. float_of_int count_bytes))
+    [ 5; 20; 50; 80; 100 ]
+
+(* ------------------------- bechamel micros -------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let kp = Lazy.force rsa_keypair in
+  let kpd = Lazy.force dsa_keypair in
+  let d = Aqv_crypto.Sha256.digest "probe" in
+  let sig_rsa = kp.Signer.sign d in
+  let sig_dsa = kpd.Signer.sign d in
+  let blob = String.make 1024 'x' in
+  let n = scaled 200 in
+  let c = ctx_of n in
+  let rng = query_rng () in
+  let x = Workload.weight_point c.table rng in
+  let q3 = Query.top_k ~x ~k:3 in
+  let small_table = table_of 50 in
+  let real_small = Ifmh.build ~scheme:Ifmh.One_signature small_table kp in
+  let small_ctx = verifier_for kp small_table in
+  let xq = Workload.weight_point small_table rng in
+  let small_q = Query.top_k ~x:xq ~k:3 in
+  let small_resp = Server.answer real_small small_q in
+  [
+    Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> Aqv_crypto.Sha256.digest blob));
+    Test.make ~name:"rsa512-sign" (Staged.stage (fun () -> kp.Signer.sign d));
+    Test.make ~name:"rsa512-verify" (Staged.stage (fun () -> kp.Signer.verify d sig_rsa));
+    Test.make ~name:"dsa-verify" (Staged.stage (fun () -> kpd.Signer.verify d sig_dsa));
+    Test.make ~name:"itree-locate" (Staged.stage (fun () -> Itree.locate (Ifmh.itree c.one) x));
+    Test.make ~name:"ifmh-answer-top3" (Staged.stage (fun () -> Server.answer c.one q3));
+    Test.make ~name:"mesh-answer-top3" (Staged.stage (fun () -> Mesh.answer c.mesh q3));
+    Test.make ~name:"client-verify-top3"
+      (Staged.stage (fun () -> Client.verify small_ctx small_q small_resp));
+  ]
+
+let run_micros () =
+  header "Micro-benchmarks (bechamel; ns/run, OLS on monotonic clock)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          with
+          | ols ->
+            (match Analyze.OLS.estimates ols with
+            | Some [ est ] -> row "%-24s %14.0f ns/run\n%!" name est
+            | _ -> row "%-24s %14s\n%!" name "n/a")
+          | exception _ -> row "%-24s %14s\n%!" name "n/a")
+        results)
+    (micro_tests ())
+
+(* ------------------------------ driver ------------------------------ *)
+
+let figures =
+  [
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig5c", fig5c);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("fig6d", fig6d);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig7c", fig7c);
+    ("fig7d", fig7d);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("abl-montgomery", abl_montgomery);
+    ("abl-depth", abl_depth);
+    ("abl-storage", abl_storage);
+    ("abl-vo-compact", abl_vo_compact);
+    ("abl-correlation", abl_correlation);
+    ("abl-batch", abl_batch);
+    ("abl-count", abl_count);
+    ("ext-2d", ext_2d);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then List.iter (fun (id, _) -> print_endline id) figures
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: id :: _ -> Some id
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, run) -> match only with Some o when o <> id -> () | _ -> run ())
+      figures;
+    if only = None && not (List.mem "--no-micro" args) then run_micros ();
+    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

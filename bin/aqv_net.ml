@@ -1,0 +1,256 @@
+(* aqv_net: the paper's three-party model over TCP.
+
+     aqv_net publish --records 100 --seed 7 --scheme multi --dir /tmp/aqv
+         owner: build the index, write index.bin (for the server) and
+         bundle.bin (template + domain + public key + epoch, for users)
+
+     aqv_net serve --dir /tmp/aqv --port 7464
+         storage server: load index.bin, answer framed requests
+
+     aqv_net query --dir /tmp/aqv --port 7464 --type topk --k 5 --at 0.3
+         data user: read bundle.bin, send the query, VERIFY the reply
+
+     aqv_net selftest
+         fork a server, run owner + client against it, exit non-zero on
+         any verification failure (used as an end-to-end smoke test)
+
+   The server process never sees a private key; the user process never
+   sees the database — only the owner's 100-odd-byte bundle. *)
+
+module Q = Aqv_num.Rational
+module Prng = Aqv_util.Prng
+module Wire = Aqv_util.Wire
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Workload = Aqv_db.Workload
+module Signer = Aqv_crypto.Signer
+open Aqv
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+(* ------------------------------ publish ----------------------------- *)
+
+let run_publish n seed scheme epoch dir =
+  let table = Workload.lines_1d ~n (Prng.create (Int64.of_int seed)) in
+  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
+  let scheme = match scheme with `One -> Ifmh.One_signature | `Multi -> Ifmh.Multi_signature in
+  let index = Ifmh.build ~epoch ~scheme table keypair in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let w = Wire.writer () in
+  Ifmh.save w index;
+  write_file (Filename.concat dir "index.bin") (Wire.contents w);
+  let wb = Wire.writer () in
+  Protocol.encode_bundle wb (Protocol.bundle_of_index index keypair.Signer.public);
+  write_file (Filename.concat dir "bundle.bin") (Wire.contents wb);
+  Printf.printf "published: %d records, %s, epoch %d\n" n (Ifmh.scheme_name scheme) epoch;
+  Printf.printf "  index.bin  %d bytes (for the storage server)\n"
+    (String.length (Wire.contents w));
+  Printf.printf "  bundle.bin %d bytes (for data users)\n" (String.length (Wire.contents wb))
+
+(* ------------------------------- serve ------------------------------ *)
+
+let serve_connections index sock ~once =
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr conn and oc = Unix.out_channel_of_descr conn in
+    let rec session () =
+      match Protocol.read_frame ic with
+      | None -> ()
+      | Some payload ->
+        let reply =
+          match Protocol.decode_request (Wire.reader payload) with
+          | req -> Protocol.handle index req
+          | exception Failure m -> Protocol.Refused m
+        in
+        let w = Wire.writer () in
+        Protocol.encode_reply w reply;
+        Protocol.write_frame oc (Wire.contents w);
+        session ()
+    in
+    (try session () with _ -> ());
+    (try Unix.close conn with _ -> ());
+    if not once then accept_loop ()
+  in
+  accept_loop ()
+
+let run_serve dir port once =
+  let index = Ifmh.load (Wire.reader (read_file (Filename.concat dir "index.bin"))) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  Printf.printf "serving %d records on 127.0.0.1:%d%s\n%!"
+    (Table.size (Ifmh.table index))
+    port
+    (if once then " (single connection)" else "");
+  serve_connections index sock ~once
+
+(* ------------------------------- query ------------------------------ *)
+
+let roundtrip port request =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
+  let w = Wire.writer () in
+  Protocol.encode_request w request;
+  Protocol.write_frame oc (Wire.contents w);
+  let reply =
+    match Protocol.read_frame ic with
+    | Some payload -> Protocol.decode_reply (Wire.reader payload)
+    | None -> failwith "server closed the connection"
+  in
+  Unix.close sock;
+  reply
+
+let run_query dir port qtype k l u y at =
+  let bundle = Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin"))) in
+  let ctx = Protocol.client_ctx bundle in
+  let x = [| Q.of_decimal at |] in
+  let query =
+    match qtype with
+    | `Topk -> Query.top_k ~x ~k
+    | `Range -> Query.range ~x ~l:(Q.of_decimal l) ~u:(Q.of_decimal u)
+    | `Knn -> Query.knn ~x ~k ~y:(Q.of_decimal y)
+  in
+  Format.printf "query: %a@." Query.pp query;
+  match roundtrip port (Protocol.Run_query query) with
+  | Protocol.Refused m -> Format.printf "server refused: %s@." m
+  | Protocol.Rank_answer _ | Protocol.Count_answer _ -> Format.printf "protocol violation@."
+  | Protocol.Answer resp ->
+    Format.printf "result (%d records):@." (List.length resp.Server.result);
+    List.iter (fun r -> Format.printf "  %a@." Record.pp r) resp.Server.result;
+    (match Client.verify ctx query resp with
+    | Ok () -> Format.printf "verification: ACCEPTED@."
+    | Error r -> Format.printf "verification: REJECTED (%s)@." (Client.rejection_to_string r))
+
+(* ------------------------------ selftest ---------------------------- *)
+
+let run_selftest () =
+  let dir = Filename.temp_file "aqv" "net" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let port = 7464 + (Unix.getpid () mod 500) in
+  run_publish 60 42 `Multi 1 dir;
+  flush stdout;
+  match Unix.fork () with
+  | 0 ->
+    (* child: serve exactly one connection, then exit *)
+    (try run_serve dir port true with _ -> ());
+    exit 0
+  | pid ->
+    Unix.sleepf 0.3;
+    let bundle =
+      Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin")))
+    in
+    let ctx = Protocol.client_ctx bundle in
+    let failures = ref 0 in
+    let expect_verified label = function
+      | true -> Printf.printf "  %-32s ok\n" label
+      | false ->
+        incr failures;
+        Printf.printf "  %-32s FAILED\n" label
+    in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
+    let ask request =
+      let w = Wire.writer () in
+      Protocol.encode_request w request;
+      Protocol.write_frame oc (Wire.contents w);
+      match Protocol.read_frame ic with
+      | Some payload -> Protocol.decode_reply (Wire.reader payload)
+      | None -> failwith "no reply"
+    in
+    let x = [| Q.of_decimal "0.37" |] in
+    (* top-k over the wire *)
+    let q1 = Query.top_k ~x ~k:5 in
+    (match ask (Protocol.Run_query q1) with
+    | Protocol.Answer resp ->
+      expect_verified "top-5 over TCP" (Client.accepts ctx q1 resp)
+    | _ -> expect_verified "top-5 over TCP" false);
+    (* range *)
+    let q2 = Query.range ~x ~l:(Q.of_int 100) ~u:(Q.of_int 600) in
+    (match ask (Protocol.Run_query q2) with
+    | Protocol.Answer resp ->
+      expect_verified "range over TCP" (Client.accepts ctx q2 resp)
+    | _ -> expect_verified "range over TCP" false);
+    (* rank *)
+    (match ask (Protocol.Run_rank { x; record_id = 7 }) with
+    | Protocol.Rank_answer (Some resp) ->
+      expect_verified "rank over TCP"
+        (Result.is_ok (Client.verify_rank ctx ~x ~record_id:7 resp))
+    | _ -> expect_verified "rank over TCP" false);
+    (* count *)
+    let l = Q.of_int 100 and u = Q.of_int 600 in
+    (match ask (Protocol.Run_count { x; l; u }) with
+    | Protocol.Count_answer resp ->
+      (match Count.verify ctx ~x ~l ~u resp with
+      | Ok k ->
+        Printf.printf "  %-32s ok (count = %d)\n" "count over TCP" k
+      | Error _ -> expect_verified "count over TCP" false)
+    | _ -> expect_verified "count over TCP" false);
+    (* out-of-domain input must be refused, not crash the server *)
+    (match ask (Protocol.Run_query (Query.top_k ~x:[| Q.of_int 9 |] ~k:1)) with
+    | Protocol.Refused _ -> Printf.printf "  %-32s ok\n" "out-of-domain refused"
+    | _ -> expect_verified "out-of-domain refused" false);
+    Unix.close sock;
+    ignore (Unix.waitpid [] pid);
+    if !failures = 0 then print_endline "selftest: ALL OK"
+    else begin
+      Printf.printf "selftest: %d failure(s)\n" !failures;
+      exit 1
+    end
+
+(* ----------------------------- cmdliner ----------------------------- *)
+
+let dir_t = Arg.(value & opt string "/tmp/aqv-demo" & info [ "dir" ] ~docv:"DIR")
+let port_t = Arg.(value & opt int 7464 & info [ "port" ] ~docv:"PORT")
+let records_t = Arg.(value & opt int 100 & info [ "records"; "n" ] ~docv:"N")
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ])
+let epoch_t = Arg.(value & opt int 0 & info [ "epoch" ])
+let once_t = Arg.(value & flag & info [ "once" ] ~doc:"Serve a single connection and exit.")
+
+let scheme_t =
+  let c = Arg.enum [ ("one", `One); ("multi", `Multi) ] in
+  Arg.(value & opt c `One & info [ "scheme" ])
+
+let qtype_t =
+  let c = Arg.enum [ ("topk", `Topk); ("range", `Range); ("knn", `Knn) ] in
+  Arg.(value & opt c `Topk & info [ "type" ])
+
+let k_t = Arg.(value & opt int 3 & info [ "k" ])
+let l_t = Arg.(value & opt string "0" & info [ "l" ])
+let u_t = Arg.(value & opt string "100" & info [ "u" ])
+let y_t = Arg.(value & opt string "0" & info [ "y" ])
+let at_t = Arg.(value & opt string "0.5" & info [ "at"; "x" ])
+
+let publish_cmd =
+  Cmd.v (Cmd.info "publish" ~doc:"Owner: build and write index.bin + bundle.bin.")
+    Term.(const run_publish $ records_t $ seed_t $ scheme_t $ epoch_t $ dir_t)
+
+let serve_cmd =
+  Cmd.v (Cmd.info "serve" ~doc:"Storage server: load index.bin, answer requests.")
+    Term.(const run_serve $ dir_t $ port_t $ once_t)
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Data user: send a query, verify the reply.")
+    Term.(const run_query $ dir_t $ port_t $ qtype_t $ k_t $ l_t $ u_t $ y_t $ at_t)
+
+let selftest_cmd =
+  Cmd.v (Cmd.info "selftest" ~doc:"Fork a server and verify replies end to end.")
+    Term.(const run_selftest $ const ())
+
+let () =
+  let info = Cmd.info "aqv_net" ~doc:"verifiable analytic queries over TCP" in
+  exit (Cmd.eval (Cmd.group info [ publish_cmd; serve_cmd; query_cmd; selftest_cmd ]))

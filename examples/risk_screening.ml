@@ -1,0 +1,120 @@
+(* Clinical risk screening over an outsourced registry.
+
+   The paper motivates analytic queries with medical risk scoring
+   (breast-cancer / diabetes / Alzheimer risk models): a registry is
+   outsourced to a cloud, and clinicians query it with risk functions
+   whose coefficient is only fixed at query time (e.g. a guideline
+   revision re-weights a biomarker). Here each patient contributes a
+   line  risk(x) = biomarker * x + baseline , where x is the
+   guideline-supplied biomarker weight.
+
+   The clinician needs more than the answer: a screening decision
+   (contact the patient / don't) must be based on a provably complete
+   result — a cloud that silently drops a high-risk patient is the
+   failure mode verification exists to catch.
+
+   Run with: dune exec examples/risk_screening.exe *)
+
+module Q = Aqv_num.Rational
+module Prng = Aqv_util.Prng
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Template = Aqv_db.Template
+module Workload = Aqv_db.Workload
+module Signer = Aqv_crypto.Signer
+open Aqv
+
+let n_patients = 120
+
+let () =
+  (* synthesize a registry: biomarker in [0, 50], baseline in [0, 400] *)
+  let rng = Prng.create 2026_07_04L in
+  let records =
+    List.init n_patients (fun i ->
+        Record.make ~id:i
+          ~attrs:[| Q.of_int (Prng.int_in rng 0 50); Q.of_int (Prng.int_in rng 0 400) |]
+          ~payload:(Printf.sprintf "patient-%04d" i)
+          ())
+  in
+  let table =
+    Table.make ~records ~template:Template.affine_1d
+      ~domain:(Aqv_num.Domain.of_ints [ (0, 10) ])
+  in
+  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 11L) in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table keypair in
+  let ctx =
+    Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+      ~verify_signature:keypair.Signer.verify
+  in
+  Printf.printf "registry of %d patients outsourced; index has %d subdomains\n\n" n_patients
+    (Ifmh.stats index).Ifmh.subdomains;
+
+  let weight = Q.of_decimal "3.5" (* this quarter's guideline weight *) in
+  let x = [| weight |] in
+
+  (* 1. top-10 highest-risk patients *)
+  let topq = Query.top_k ~x ~k:10 in
+  let top = Server.answer index topq in
+  Printf.printf "10 highest-risk patients at weight %s:\n" (Q.to_string weight);
+  List.iter (fun r -> Printf.printf "  %s\n" (Record.payload r)) (List.rev top.Server.result);
+  (match Client.verify ctx topq top with
+  | Ok () -> print_endline "  verified: nobody was hidden\n"
+  | Error r -> Printf.printf "  REJECTED: %s\n\n" (Client.rejection_to_string r));
+
+  (* 2. range screening: risk band that triggers a callback *)
+  let l = Q.of_int 400 and u = Q.of_int 480 in
+  let rq = Query.range ~x ~l ~u in
+  let band = Server.answer index rq in
+  Printf.printf "patients in callback band [%s, %s]: %d\n" (Q.to_string l) (Q.to_string u)
+    (List.length band.Server.result);
+  (match Client.verify ctx rq band with
+  | Ok () -> print_endline "  verified: the band is exact\n"
+  | Error r -> Printf.printf "  REJECTED: %s\n\n" (Client.rejection_to_string r));
+
+  (* 3. KNN: case review — the 5 patients most similar in risk to a
+        reference risk value *)
+  let y = Q.of_int 350 in
+  let kq = Query.knn ~x ~k:5 ~y in
+  let knn = Server.answer index kq in
+  Printf.printf "5 patients with risk nearest to %s:\n" (Q.to_string y);
+  List.iter (fun r -> Printf.printf "  %s\n" (Record.payload r)) knn.Server.result;
+  (match Client.verify ctx kq knn with
+  | Ok () -> print_endline "  verified\n"
+  | Error r -> Printf.printf "  REJECTED: %s\n\n" (Client.rejection_to_string r));
+
+  (* 4. rank query: where does a specific patient stand? -------------- *)
+  let target = 17 in
+  (match Server.rank index ~x ~record_id:target with
+  | None -> Printf.printf "patient %d not in the registry\n" target
+  | Some resp ->
+    (match Client.verify_rank ctx ~x ~record_id:target resp with
+    | Ok rank ->
+      Printf.printf "patient-%04d has verified risk rank %d of %d (0 = lowest)\n\n" target rank
+        n_patients
+    | Error r -> Printf.printf "  rank REJECTED: %s\n\n" (Client.rejection_to_string r)));
+
+  (* 5. verifiable COUNT: audit the band size without downloading it -- *)
+  let cresp = Count.answer index ~x ~l ~u in
+  (match Count.verify ctx ~x ~l ~u cresp with
+  | Ok k ->
+    Printf.printf "verified count of band [%s, %s]: %d patients (%d-byte proof, no records shipped)\n\n"
+      (Q.to_string l) (Q.to_string u) k (Count.size_bytes cresp)
+  | Error r -> Printf.printf "  count REJECTED: %s\n\n" (Semantics.rejection_to_string r));
+
+  (* 6. the cloud cuts costs: it truncates the callback band ---------- *)
+  let cheap = { band with Server.result = List.filteri (fun i _ -> i > 0) band.Server.result } in
+  Printf.printf "cloud silently drops one patient from the callback band...\n";
+  (match Client.verify ctx rq cheap with
+  | Ok () -> print_endline "  accepted (BUG!)"
+  | Error r -> Printf.printf "  caught: %s\n" (Client.rejection_to_string r));
+
+  (* 7. the cloud answers from a stale guideline weight --------------- *)
+  let stale_x = [| Q.of_decimal "1.5" |] in
+  let stale = Server.answer index (Query.range ~x:stale_x ~l ~u) in
+  Printf.printf "cloud answers with results computed for an old weight...\n";
+  match Client.verify ctx rq stale with
+  | Ok () ->
+    (* only possible if both weights fall in the same subdomain AND the
+       answer happens to coincide; with 120 patients it will not *)
+    print_endline "  accepted (the stale answer happened to be identical)"
+  | Error r -> Printf.printf "  caught: %s\n" (Client.rejection_to_string r)

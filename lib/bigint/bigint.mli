@@ -1,0 +1,111 @@
+(** Arbitrary-precision signed integers.
+
+    Pure OCaml: sign + magnitude in base 2^26 limbs, with a native-[int]
+    fast path for small values so that the exact-rational layer built on
+    top stays cheap on typical workloads. Serves two clients: the exact
+    geometry in {!Aqv_num} and the public-key cryptography in
+    {!Aqv_crypto}. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val to_int_exn : t -> int
+
+val of_string : string -> t
+(** Decimal, with optional leading [-]; or hexadecimal with a [0x]
+    prefix. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and
+    [r] carrying the sign of [a] (truncated division).
+    @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder: always in [\[0, |b|)]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift towards zero on the magnitude (logical on
+    magnitude; sign preserved). *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Number theory (used by the crypto layer)} *)
+
+val bit_length : t -> int
+(** Number of significant bits of the magnitude; [bit_length zero = 0]. *)
+
+val testbit : t -> int -> bool
+(** Bit [i] of the magnitude. *)
+
+val is_even : t -> bool
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd zero zero = zero]. *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** [mod_pow ~base ~exp ~modulus] computes [base^exp mod modulus] for
+    [exp >= 0], [modulus > 0]. Uses Montgomery multiplication when the
+    modulus is odd. *)
+
+val mod_pow_plain : base:t -> exp:t -> modulus:t -> t
+(** Same result via plain square-and-multiply with trial division at
+    every step. Exists for the Montgomery-speedup ablation benchmark;
+    prefer {!mod_pow}. *)
+
+val mod_inv : t -> t -> t
+(** [mod_inv a m] is the inverse of [a] modulo [m].
+    @raise Not_found if [gcd a m <> 1]. *)
+
+(** {1 Conversions for crypto} *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned interpretation. *)
+
+val to_bytes_be : ?width:int -> t -> string
+(** Big-endian minimal encoding of the magnitude, left-padded with zero
+    bytes to [width] if given. @raise Invalid_argument if the value does
+    not fit in [width] bytes or is negative. *)
+
+val random_bits : Aqv_util.Prng.t -> int -> t
+(** Uniform in [\[0, 2^bits)]. *)
+
+val random_below : Aqv_util.Prng.t -> t -> t
+(** Uniform in [\[0, bound)]; [bound > 0]. *)

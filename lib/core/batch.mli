@@ -1,0 +1,45 @@
+(** Batched queries at a shared function input.
+
+    Several queries issued at the same weight vector [X] land in the
+    same subdomain, so its (comparatively expensive) subdomain proof and
+    signature can be shared across all of them: the batch response
+    carries one subdomain proof and one per-query window. An
+    optimization beyond the paper, quantified by the [abl-batch]
+    bench. *)
+
+type item = {
+  result : Aqv_db.Record.t list;
+  window_lo : int;
+  left : Vo.boundary;
+  right : Vo.boundary;
+  fmh_proof : string list;
+}
+
+type response = {
+  n_leaves : int;
+  epoch : int;
+  subdomain : Vo.subdomain_proof;
+  signature : string;
+  items : item list;  (** one per query, in query order *)
+}
+
+val answer : Ifmh.t -> x:Aqv_num.Rational.t array -> Query.t list -> response
+(** @raise Invalid_argument if the list is empty or any query's input
+    differs from [x]. *)
+
+val verify :
+  Client.ctx ->
+  x:Aqv_num.Rational.t array ->
+  Query.t list ->
+  response ->
+  (unit, Semantics.rejection) result
+(** All items must reconstruct the same FMH root; the shared subdomain
+    proof is checked once; each query's semantics are re-executed on
+    its own window. *)
+
+val size_bytes : response -> int
+(** Wire size (results excluded, like {!Vo.size_bytes}). *)
+
+val to_responses : response -> Server.response list
+(** Expand into standalone responses (each verifiable on its own) —
+    convenient for callers that only batch on the wire. *)

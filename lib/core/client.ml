@@ -1,0 +1,169 @@
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Halfspace = Aqv_num.Halfspace
+module Domain = Aqv_num.Domain
+module Mht = Aqv_merkle.Mht
+module Record = Aqv_db.Record
+module Template = Aqv_db.Template
+
+type ctx = {
+  template : Template.t;
+  domain : Domain.t;
+  verify_signature : string -> string -> bool;
+  min_epoch : int;
+}
+
+let make_ctx ~template ~domain ~verify_signature =
+  { template; domain; verify_signature; min_epoch = 0 }
+
+let min_epoch ctx = ctx.min_epoch
+let template ctx = ctx.template
+let domain ctx = ctx.domain
+
+let with_min_epoch ctx min_epoch = { ctx with min_epoch }
+
+type rejection = Semantics.rejection =
+  | Malformed
+  | Bad_signature
+  | Wrong_subdomain
+  | Order_violation
+  | Boundary_violation
+  | Count_mismatch
+  | Outside_domain
+  | Stale_epoch
+
+let rejection_to_string = Semantics.rejection_to_string
+
+open Semantics
+
+let boundary_digest = function
+  | Vo.Min_sentinel -> Record.min_sentinel_digest
+  | Vo.Max_sentinel -> Record.max_sentinel_digest
+  | Vo.Boundary_record r -> Record.digest r
+
+(* Verify the subdomain part against a reconstructed FMH root: route or
+   constraint checks at [x], then the owner's signature over the scheme's
+   digest. Shared with the batch and count verifiers. *)
+let check_subdomain_proof ctx ~x ~fmh_root ~n_leaves ~epoch subdomain ~signature =
+  match subdomain with
+  | Vo.One_sig_path steps ->
+    let root_hash =
+      List.fold_left
+        (fun h (s : Vo.path_step) ->
+          let fp =
+            match Template.apply ctx.template s.Vo.rp with
+            | f -> f
+            | exception Invalid_argument _ -> raise (Reject Malformed)
+          in
+          let fq =
+            match Template.apply ctx.template s.Vo.rq with
+            | f -> f
+            | exception Invalid_argument _ -> raise (Reject Malformed)
+          in
+          let diff = Linfun.sub fp fq in
+          let expected =
+            if Q.sign (Linfun.eval diff x) >= 0 then Halfspace.Above else Halfspace.Below
+          in
+          guard (expected = s.Vo.taken) Wrong_subdomain;
+          let rp_digest = Record.digest s.Vo.rp and rq_digest = Record.digest s.Vo.rq in
+          match s.Vo.taken with
+          | Halfspace.Above ->
+            Ifmh.inode_digest ~rp_digest ~rq_digest ~above:h ~below:s.Vo.sibling
+          | Halfspace.Below ->
+            Ifmh.inode_digest ~rp_digest ~rq_digest ~above:s.Vo.sibling ~below:h)
+        fmh_root steps
+    in
+    guard
+      (ctx.verify_signature
+         (Ifmh.root_digest_for_signing ~root_hash ~n_leaves ~epoch)
+         signature)
+      Bad_signature
+  | Vo.Multi_sig_constraints cons ->
+    List.iter
+      (fun (rp, rq, side) ->
+        let diff =
+          match (Template.apply ctx.template rp, Template.apply ctx.template rq) with
+          | fp, fq -> Linfun.sub fp fq
+          | exception Invalid_argument _ -> raise (Reject Malformed)
+        in
+        let holds =
+          match side with
+          | Halfspace.Above -> Q.sign (Linfun.eval diff x) >= 0
+          | Halfspace.Below -> Q.sign (Linfun.eval diff x) < 0
+        in
+        guard holds Wrong_subdomain)
+      cons;
+    let cons_digests =
+      List.map (fun (rp, rq, side) -> (Record.digest rp, Record.digest rq, side)) cons
+    in
+    let digest =
+      Ifmh.leaf_digest_for_signing ~domain:ctx.domain ~cons_digests ~fmh_root ~n_leaves
+        ~epoch
+    in
+    guard (ctx.verify_signature digest signature) Bad_signature
+
+(* Everything up to and including the signature check: returns the
+   number of records committed in the list. *)
+let authenticate_exn ctx ~x (resp : Server.response) =
+  guard (Array.length x = Domain.dim ctx.domain) Outside_domain;
+  guard (Domain.contains ctx.domain x) Outside_domain;
+  let vo = resp.Server.vo in
+  let count = List.length resp.Server.result in
+  let n = vo.Vo.n_leaves - 2 in
+  guard (n >= 1) Malformed;
+  guard (vo.Vo.epoch >= ctx.min_epoch) Stale_epoch;
+  let wlo = vo.Vo.window_lo in
+  let whi = wlo + count - 1 in
+  guard (wlo >= 1 && whi <= n && wlo <= whi + 1) Malformed;
+  (* sentinel boundaries are only legal at the ends of the list *)
+  (match vo.Vo.left with
+  | Vo.Min_sentinel -> guard (wlo - 1 = 0) Malformed
+  | Vo.Max_sentinel -> raise (Reject Malformed)
+  | Vo.Boundary_record _ -> guard (wlo - 1 >= 1) Malformed);
+  (match vo.Vo.right with
+  | Vo.Max_sentinel -> guard (whi + 1 = n + 1) Malformed
+  | Vo.Min_sentinel -> raise (Reject Malformed)
+  | Vo.Boundary_record _ -> guard (whi + 1 <= n) Malformed);
+  (* --- step 1a: reconstruct the FMH root from window + proof --- *)
+  let result_digests = List.map Record.digest resp.Server.result in
+  let leaves =
+    (boundary_digest vo.Vo.left :: result_digests) @ [ boundary_digest vo.Vo.right ]
+  in
+  let fmh_root =
+    match
+      Mht.root_of_range ~n:vo.Vo.n_leaves ~lo:(wlo - 1) ~leaves ~proof:vo.Vo.fmh_proof
+    with
+    | Some h -> h
+    | None -> raise (Reject Malformed)
+  in
+  (* --- step 1b: subdomain verification + signature --- *)
+  check_subdomain_proof ctx ~x ~fmh_root ~n_leaves:vo.Vo.n_leaves ~epoch:vo.Vo.epoch
+    vo.Vo.subdomain ~signature:vo.Vo.signature;
+  n
+
+let verify_exn ctx query (resp : Server.response) =
+  let x = Query.x query in
+  let n = authenticate_exn ctx ~x resp in
+  (* --- step 2: re-execute the query on the authenticated window --- *)
+  Semantics.check_window ~template:ctx.template ~x ~n ~query ~left:resp.Server.vo.Vo.left
+    ~right:resp.Server.vo.Vo.right ~result:resp.Server.result
+
+let verify ctx query resp =
+  match verify_exn ctx query resp with
+  | () -> Ok ()
+  | exception Reject r -> Error r
+
+let accepts ctx query resp = Result.is_ok (verify ctx query resp)
+
+let verify_rank ctx ~x ~record_id resp =
+  match
+    let n = authenticate_exn ctx ~x resp in
+    ignore n;
+    match resp.Server.result with
+    | [ r ] ->
+      guard (Record.id r = record_id) Boundary_violation;
+      resp.Server.vo.Vo.window_lo - 1
+    | _ -> raise (Reject Count_mismatch)
+  with
+  | rank -> Ok rank
+  | exception Reject r -> Error r

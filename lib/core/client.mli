@@ -1,0 +1,81 @@
+(** Client-side verification of query responses (paper §3.3).
+
+    The client trusts only: the owner's public key, the published
+    template, and the published domain. Everything else — records,
+    window position, subdomain, order — is recomputed from the response
+    and checked against the owner's signature. A response passes iff the
+    result is sound (every record original and satisfying the query) and
+    complete (no qualifying record missing). *)
+
+type ctx
+
+val make_ctx :
+  template:Aqv_db.Template.t ->
+  domain:Aqv_num.Domain.t ->
+  verify_signature:(string -> string -> bool) ->
+  ctx
+(** [verify_signature digest signature] is the owner's public-key
+    check — typically [keypair.verify] from {!Aqv_crypto.Signer}. *)
+
+val with_min_epoch : ctx -> int -> ctx
+(** A context that additionally rejects responses signed for database
+    epochs older than the given one (freshness; default 0 accepts
+    everything). *)
+
+type rejection = Semantics.rejection =
+  | Malformed  (** structurally inconsistent response *)
+  | Bad_signature  (** root/subdomain signature does not verify *)
+  | Wrong_subdomain
+      (** the proven subdomain does not contain the query input *)
+  | Order_violation  (** shipped records out of committed score order *)
+  | Boundary_violation
+      (** a boundary record satisfies the query condition, or a result
+          record does not: the window is wrong *)
+  | Count_mismatch  (** result size inconsistent with the query *)
+  | Outside_domain  (** query input outside the owner's domain *)
+  | Stale_epoch  (** the response was signed for an older database
+                     version than the client requires *)
+
+val rejection_to_string : rejection -> string
+
+val verify : ctx -> Query.t -> Server.response -> (unit, rejection) result
+(** Full verification: FMH range reconstruction, IMH path folding or
+    inequality checking, signature verification, and query-semantics
+    re-execution. Hash and signature operations tick
+    {!Aqv_util.Metrics} — the paper's user-cost metrics (Fig. 7). *)
+
+val accepts : ctx -> Query.t -> Server.response -> bool
+
+val check_subdomain_proof :
+  ctx ->
+  x:Aqv_num.Rational.t array ->
+  fmh_root:string ->
+  n_leaves:int ->
+  epoch:int ->
+  Vo.subdomain_proof ->
+  signature:string ->
+  unit
+(** Building block shared with {!Batch} and {!Count}: verify that the
+    FMH root belongs to the subdomain containing [x] under the owner's
+    signature (route re-evaluation or inequality checks included).
+    @raise Semantics.Reject on any violation. *)
+
+val boundary_digest : Vo.boundary -> string
+(** The FMH leaf digest a boundary commits to (record digest or
+    sentinel constant). *)
+
+val min_epoch : ctx -> int
+val template : ctx -> Aqv_db.Template.t
+val domain : ctx -> Aqv_num.Domain.t
+
+val verify_rank :
+  ctx ->
+  x:Aqv_num.Rational.t array ->
+  record_id:int ->
+  Server.response ->
+  (int, rejection) result
+(** Verify a {!Server.rank} response: on success, the certified 0-based
+    ascending rank of the record under input [x]. The rank is exactly
+    the window position bound by the FMH range reconstruction, so a
+    lying server is caught by the same hash/signature machinery as for
+    the three standard query types. *)

@@ -1,0 +1,49 @@
+(** Verifiable COUNT over range conditions — an aggregate proof that
+    ships O(log n) data no matter how many records match.
+
+    The proof pins four positions in the committed order with Merkle
+    authentication paths: the records just outside the matching window
+    (strictly below [l] / above [u]) and the window's first and last
+    members (inside [\[l, u\]]). Interior membership then follows from
+    the owner's order commitment, exactly as for ordinary range queries;
+    the certified count is the difference of the outer positions minus
+    one. Compare the full range VO, which ships every matching record
+    (bench [abl-count]). An extension beyond the paper built from the
+    same index. *)
+
+type anchor = {
+  boundary : Vo.boundary;
+  path : Aqv_merkle.Mht.path_elem list;  (** positional single-leaf proof *)
+}
+
+type response = {
+  n_leaves : int;
+  epoch : int;
+  louter : anchor;  (** position [a-1]: last record below the window *)
+  router : anchor;  (** position [b+1]: first record above the window *)
+  inner : (anchor * anchor) option;
+      (** positions [a] and [b] — the window's first and last members;
+          [None] iff the count is zero *)
+  subdomain : Vo.subdomain_proof;
+  signature : string;
+}
+
+val answer :
+  Ifmh.t -> x:Aqv_num.Rational.t array -> l:Aqv_num.Rational.t -> u:Aqv_num.Rational.t -> response
+(** How many records score within [\[l, u\]] at input [x]?
+    @raise Invalid_argument if [l > u] or [x] is outside the domain. *)
+
+val verify :
+  Client.ctx ->
+  x:Aqv_num.Rational.t array ->
+  l:Aqv_num.Rational.t ->
+  u:Aqv_num.Rational.t ->
+  response ->
+  (int, Semantics.rejection) result
+(** On success, the certified number of matching records. *)
+
+val size_bytes : response -> int
+
+val encode : Aqv_util.Wire.writer -> response -> unit
+val decode : Aqv_util.Wire.reader -> response
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,241 @@
+module Sha256 = Aqv_crypto.Sha256
+module Signer = Aqv_crypto.Signer
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Halfspace = Aqv_num.Halfspace
+module Mht = Aqv_merkle.Mht
+
+type scheme = One_signature | Multi_signature
+
+let scheme_name = function
+  | One_signature -> "one-signature"
+  | Multi_signature -> "multi-signature"
+
+type t = {
+  scheme : scheme;
+  table : Table.t;
+  itree : Itree.t;
+  sorting : Sorting.t;
+  signature_size : int;
+  seed : int64;
+  epoch : int;
+  root_signature : string option;
+  leaf_signatures : string array;
+}
+
+let scheme t = t.scheme
+let epoch t = t.epoch
+let signature_size t = t.signature_size
+let table t = t.table
+let itree t = t.itree
+let sorting t = t.sorting
+
+let root_signature t =
+  match t.root_signature with
+  | Some s -> s
+  | None -> invalid_arg "Ifmh.root_signature: multi-signature index"
+
+let leaf_signature t id =
+  if Array.length t.leaf_signatures = 0 then
+    invalid_arg "Ifmh.leaf_signature: one-signature index"
+  else t.leaf_signatures.(id)
+
+let inode_tag = "\x04"
+let root_sign_tag = "\x05"
+let leaf_sign_tag = "\x06"
+
+let inode_digest ~rp_digest ~rq_digest ~above ~below =
+  Sha256.digest_list [ inode_tag; rp_digest; rq_digest; above; below ]
+
+(* Both signing digests commit to the FMH leaf count: without it, a
+   server could misreport the database size whenever the answer window
+   does not touch an end of the list (disjoint Merkle subtrees are
+   opaque in range reconstruction). *)
+let meta_bytes_of n_leaves epoch =
+  let w = Aqv_util.Wire.writer () in
+  Aqv_util.Wire.varint w n_leaves;
+  Aqv_util.Wire.varint w epoch;
+  Aqv_util.Wire.contents w
+
+let root_digest_for_signing ~root_hash ~n_leaves ~epoch =
+  Sha256.digest_list [ root_sign_tag; root_hash; meta_bytes_of n_leaves epoch ]
+
+let leaf_digest_for_signing ~domain ~cons_digests ~fmh_root ~n_leaves ~epoch =
+  let w = Aqv_util.Wire.writer () in
+  Aqv_num.Domain.encode w domain;
+  List.iter
+    (fun (dp, dq, side) ->
+      Aqv_util.Wire.bytes w dp;
+      Aqv_util.Wire.bytes w dq;
+      Aqv_util.Wire.u8 w (Halfspace.side_to_int side))
+    cons_digests;
+  Sha256.digest_list
+    [ leaf_sign_tag; Aqv_util.Wire.contents w; fmh_root; meta_bytes_of n_leaves epoch ]
+
+(* Bottom-up hash propagation over the I-tree (paper step 3). *)
+let propagate_hashes itree sorting rdig =
+  let rec go (node : Itree.node) =
+    match node.Itree.kind with
+    | Itree.Leaf lf ->
+      node.Itree.h <- Sorting.fmh_root sorting lf.Itree.id;
+      node.Itree.h
+    | Itree.Inode n ->
+      let above = go n.Itree.above in
+      let below = go n.Itree.below in
+      let h =
+        inode_digest ~rp_digest:rdig.(n.Itree.i) ~rq_digest:rdig.(n.Itree.j) ~above ~below
+      in
+      node.Itree.h <- h;
+      h
+  in
+  go (Itree.root itree)
+
+let default_seed = 0x17EEL
+
+(* Build the unsigned structure (I-tree, sorted lists, FMH roots, hash
+   propagation) and hand each scheme the digests it must cover. Shared
+   by [build] (owner: signs) and [load] (server: attaches stored
+   signatures). *)
+let build_structure ~seed ?fmh_storage table =
+  let itree = Itree.build ~seed (Table.domain table) (Table.functions table) in
+  let sorting = Sorting.build ?storage:fmh_storage table itree in
+  let rdig = Array.map Record.digest (Table.records table) in
+  (itree, sorting, rdig)
+
+let assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
+    ~sign_root ~sign_leaf =
+  let n_leaves = Table.size table + 2 in
+  match scheme with
+  | One_signature ->
+    let root_hash = propagate_hashes itree sorting rdig in
+    {
+      scheme;
+      table;
+      itree;
+      sorting;
+      signature_size;
+      seed;
+      epoch;
+      root_signature = Some (sign_root (root_digest_for_signing ~root_hash ~n_leaves ~epoch));
+      leaf_signatures = [||];
+    }
+  | Multi_signature ->
+    let domain = Table.domain table in
+    let leaf_signatures =
+      Array.map
+        (fun (node : Itree.node) ->
+          match node.Itree.kind with
+          | Itree.Inode _ -> assert false
+          | Itree.Leaf lf ->
+            let fmh_root = Sorting.fmh_root sorting lf.Itree.id in
+            node.Itree.h <- fmh_root;
+            let cons_digests =
+              List.rev_map (fun (i, j, side) -> (rdig.(i), rdig.(j), side)) lf.Itree.cons
+            in
+            sign_leaf lf.Itree.id
+              (leaf_digest_for_signing ~domain ~cons_digests ~fmh_root ~n_leaves ~epoch))
+        (Itree.leaves itree)
+    in
+    {
+      scheme;
+      table;
+      itree;
+      sorting;
+      signature_size;
+      seed;
+      epoch;
+      root_signature = None;
+      leaf_signatures;
+    }
+
+let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ~scheme table keypair =
+  let itree, sorting, rdig = build_structure ~seed ?fmh_storage table in
+  assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size table itree
+    sorting rdig
+    ~sign_root:keypair.Signer.sign
+    ~sign_leaf:(fun _ d -> keypair.Signer.sign d)
+
+(* --------------------------- persistence --------------------------- *)
+
+(* The structure is a deterministic function of (table, seed), so the
+   wire form stores only the inputs plus the owner's signatures; loading
+   rebuilds everything else. Loaders (untrusted servers) cannot check
+   the signatures — clients do. *)
+let save w t =
+  let module W = Aqv_util.Wire in
+  W.u8 w (match t.scheme with One_signature -> 0 | Multi_signature -> 1);
+  W.varint w t.epoch;
+  W.int w (Int64.to_int t.seed);
+  W.varint w t.signature_size;
+  Aqv_num.Domain.encode w (Table.domain t.table);
+  Aqv_db.Template.encode w (Table.template t.table);
+  W.list w (Record.encode w) (Array.to_list (Table.records t.table));
+  (match t.root_signature with
+  | Some s ->
+    W.u8 w 1;
+    W.bytes w s
+  | None -> W.u8 w 0);
+  W.list w (W.bytes w) (Array.to_list t.leaf_signatures)
+
+let load ?fmh_storage r =
+  let module W = Aqv_util.Wire in
+  let scheme =
+    match W.read_u8 r with
+    | 0 -> One_signature
+    | 1 -> Multi_signature
+    | _ -> failwith "Ifmh.load: bad scheme tag"
+  in
+  let epoch = W.read_varint r in
+  let seed = Int64.of_int (W.read_int r) in
+  let signature_size = W.read_varint r in
+  let domain = Aqv_num.Domain.decode r in
+  let template = Aqv_db.Template.decode r in
+  let records = W.read_list r Record.decode in
+  let root_signature = match W.read_u8 r with 1 -> Some (W.read_bytes r) | _ -> None in
+  let leaf_signatures = Array.of_list (W.read_list r W.read_bytes) in
+  let table =
+    match Table.make ~records ~template ~domain with
+    | t -> t
+    | exception Invalid_argument m -> failwith ("Ifmh.load: " ^ m)
+  in
+  let itree, sorting, rdig = build_structure ~seed ?fmh_storage table in
+  if scheme = Multi_signature && Array.length leaf_signatures <> Itree.leaf_count itree then
+    failwith "Ifmh.load: signature count mismatch";
+  (* attach the stored signatures through the same assembly path *)
+  let stored_root = root_signature in
+  let t =
+    assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
+      ~sign_root:(fun _ -> Option.value ~default:"" stored_root)
+      ~sign_leaf:(fun id _ -> leaf_signatures.(id))
+  in
+  if scheme = One_signature && stored_root = None then failwith "Ifmh.load: missing signature";
+  t
+
+type build_stats = {
+  subdomains : int;
+  imh_nodes : int;
+  intersections : int;
+  signatures : int;
+  logical_size_bytes : int;
+}
+
+let digest_size = 32
+let imh_node_bytes = digest_size + 8 + 16 (* hash + pair ids + two pointers *)
+
+let stats t =
+  let subdomains = Itree.leaf_count t.itree in
+  let imh_nodes = Itree.node_count t.itree in
+  let n = Table.size t.table in
+  let fmh_nodes_per_subdomain = (2 * (n + 2)) - 1 in
+  let signatures = if t.scheme = One_signature then 1 else subdomains in
+  let sig_bytes = t.signature_size in
+  {
+    subdomains;
+    imh_nodes;
+    intersections = Itree.intersection_count t.itree;
+    signatures;
+    logical_size_bytes =
+      (imh_nodes * imh_node_bytes)
+      + (subdomains * fmh_nodes_per_subdomain * digest_size)
+      + (signatures * sig_bytes);
+  }

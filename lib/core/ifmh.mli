@@ -1,0 +1,96 @@
+(** The IFMH-tree: the paper's verification data structure.
+
+    Combines the I-tree over function intersections (made an IMH-tree by
+    Merkle-hashing every node) with one FMH-tree per subdomain over the
+    sorted function list. Two signing schemes (paper §3.1, step 4):
+
+    - {e one-signature}: only the IMH root hash is signed; verification
+      objects carry the IMH search path.
+    - {e multi-signature}: each subdomain node is signed over the digest
+      of its inequality set, the domain, and its FMH root; verification
+      objects carry the inequality set.
+
+    Hash rules (all SHA-256, with domain-separation tags):
+    - leaf node: the root of the subdomain's FMH-tree;
+    - internal node: [H(tag | H(r_i) | H(r_j) | h_above | h_below)].
+      Binding the intersecting pair into the node hash is a deliberate
+      hardening over the paper's [H(h_a | h_b)] — without it a malicious
+      server could reroute searches along a correctly-hashed but wrong
+      path (see DESIGN.md). *)
+
+type scheme = One_signature | Multi_signature
+
+val scheme_name : scheme -> string
+
+type t
+
+val build :
+  ?seed:int64 ->
+  ?fmh_storage:Sorting.storage ->
+  ?epoch:int ->
+  scheme:scheme ->
+  Aqv_db.Table.t ->
+  Aqv_crypto.Signer.keypair ->
+  t
+(** Owner-side construction: I-tree insertion, per-subdomain sorting,
+    FMH construction, hash propagation, signing. All hash and signature
+    operations tick {!Aqv_util.Metrics}. [fmh_storage] selects the
+    FMH persistence policy (see {!Sorting.storage}; default
+    [Snapshot]). [epoch] (default 0) is a freshness counter committed in
+    every signature: clients configured with a minimum epoch reject
+    replays of stale database versions. *)
+
+val epoch : t -> int
+val signature_size : t -> int
+
+val scheme : t -> scheme
+val table : t -> Aqv_db.Table.t
+val itree : t -> Itree.t
+val sorting : t -> Sorting.t
+val root_signature : t -> string
+(** @raise Invalid_argument under the multi-signature scheme. *)
+
+val leaf_signature : t -> int -> string
+(** @raise Invalid_argument under the one-signature scheme. *)
+
+val leaf_digest_for_signing :
+  domain:Aqv_num.Domain.t ->
+  cons_digests:(string * string * Aqv_num.Halfspace.side) list ->
+  fmh_root:string ->
+  n_leaves:int ->
+  epoch:int ->
+  string
+(** The multi-signature signing digest for a subdomain, exposed so the
+    verifying client computes exactly the same bytes. [cons_digests]
+    lists the record digests of each inequality's pair, outermost
+    first. Committing [n_leaves] (records + 2 sentinels) prevents the
+    server from misreporting the database size. *)
+
+val root_digest_for_signing : root_hash:string -> n_leaves:int -> epoch:int -> string
+(** The one-signature signing digest: the IMH root hash bound to the
+    FMH leaf count. *)
+
+val inode_digest : rp_digest:string -> rq_digest:string -> above:string -> below:string -> string
+(** The IMH internal-node hash, exposed for client-side path folding. *)
+
+val save : Aqv_util.Wire.writer -> t -> unit
+(** Serialize the index: the structure is a deterministic function of
+    the table and build seed, so only those inputs plus the owner's
+    signatures go on the wire. *)
+
+val load : ?fmh_storage:Sorting.storage -> Aqv_util.Wire.reader -> t
+(** Rebuild a saved index (e.g. on the storage server after the owner's
+    upload). Signatures are attached, not checked — the verifying
+    clients check them. @raise Failure on malformed input. *)
+
+type build_stats = {
+  subdomains : int;  (** I-tree leaves *)
+  imh_nodes : int;  (** total I-tree nodes *)
+  intersections : int;  (** function pairs crossing the domain *)
+  signatures : int;  (** signatures the owner created *)
+  logical_size_bytes : int;
+      (** storage size under the paper's model (one full FMH-tree per
+          subdomain, no structural sharing) *)
+}
+
+val stats : t -> build_stats

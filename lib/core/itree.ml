@@ -1,0 +1,143 @@
+module Q = Aqv_num.Rational
+module Region = Aqv_num.Region
+module Halfspace = Aqv_num.Halfspace
+module Linfun = Aqv_num.Linfun
+
+type node = { region : Region.t; mutable h : string; mutable kind : kind }
+and kind = Leaf of leaf | Inode of inode
+and leaf = { mutable id : int; cons : (int * int * Halfspace.side) list }
+
+and inode = { i : int; j : int; diff : Linfun.t; above : node; below : node }
+
+type t = {
+  root : node;
+  functions : Linfun.t array;
+  domain : Aqv_num.Domain.t;
+  mutable leaf_nodes : node array;
+  mutable intersections : int;
+  mutable nodes : int;
+}
+
+let root t = t.root
+let functions t = t.functions
+let domain t = t.domain
+let leaf_count t = Array.length t.leaf_nodes
+let leaves t = t.leaf_nodes
+let node_count t = t.nodes
+let intersection_count t = t.intersections
+
+let fresh_leaf region cons = { region; h = ""; kind = Leaf { id = -1; cons } }
+
+(* Insert intersection (i, j) with difference [diff]: split every leaf
+   whose region the hyperplane properly crosses. *)
+let insert t i j diff =
+  let split_any = ref false in
+  let rec go node =
+    match Region.classify node.region diff with
+    | Region.Pos | Region.Neg -> ()
+    | Region.Split ->
+      (match node.kind with
+      | Inode n ->
+        go n.above;
+        go n.below
+      | Leaf lf ->
+        let region_a =
+          match Region.add node.region (Halfspace.above diff) with
+          | Some r -> r
+          | None -> assert false (* classify said Split *)
+        in
+        let region_b =
+          match Region.add node.region (Halfspace.below diff) with
+          | Some r -> r
+          | None -> assert false
+        in
+        let above = fresh_leaf region_a ((i, j, Halfspace.Above) :: lf.cons) in
+        let below = fresh_leaf region_b ((i, j, Halfspace.Below) :: lf.cons) in
+        node.kind <- Inode { i; j; diff; above; below };
+        t.nodes <- t.nodes + 2;
+        split_any := true)
+  in
+  go t.root;
+  if !split_any then t.intersections <- t.intersections + 1
+
+let collect_leaves root =
+  let acc = ref [] in
+  let rec go node =
+    match node.kind with
+    | Leaf _ -> acc := node :: !acc
+    | Inode n ->
+      go n.above;
+      go n.below
+  in
+  go root;
+  !acc
+
+let build ?(seed = 0x17EEL) ?(order = `Shuffled) dom fns =
+  let n = Array.length fns in
+  let root = fresh_leaf (Region.of_domain dom) [] in
+  let t = { root; functions = fns; domain = dom; leaf_nodes = [||]; intersections = 0; nodes = 1 } in
+  (* all pairs i < j, inserted in a seeded random order: a random order
+     keeps the expected tree depth logarithmic in the number of
+     subdomains, like a randomly built BST *)
+  let pairs = Array.make (n * (n - 1) / 2) (0, 0) in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs.(!k) <- (i, j);
+      incr k
+    done
+  done;
+  (match order with
+  | `Shuffled -> Aqv_util.Prng.shuffle (Aqv_util.Prng.create seed) pairs
+  | `Lexicographic -> ());
+  Array.iter
+    (fun (i, j) ->
+      let diff = Linfun.sub fns.(i) fns.(j) in
+      if not (Linfun.is_zero diff) then insert t i j diff)
+    pairs;
+  let leaf_nodes = Array.of_list (collect_leaves root) in
+  (* in 1-D, order leaves left to right so leaf ids align with the
+     sweep's subdomain indices *)
+  if Aqv_num.Domain.dim dom = 1 then
+    Array.sort
+      (fun a b ->
+        match (Region.interval_bounds a.region, Region.interval_bounds b.region) with
+        | Some (la, _), Some (lb, _) -> Q.compare la lb
+        | _ -> assert false)
+      leaf_nodes;
+  Array.iteri
+    (fun idx node -> match node.kind with Leaf lf -> lf.id <- idx | Inode _ -> assert false)
+    leaf_nodes;
+  t.leaf_nodes <- leaf_nodes;
+  t
+
+let leaf_interval t id =
+  match Region.interval_bounds t.leaf_nodes.(id).region with
+  | Some bounds -> bounds
+  | None -> invalid_arg "Itree.leaf_interval: not 1-D"
+
+let depth_fold t ~init ~leaf_at =
+  let rec go node d acc =
+    match node.kind with
+    | Leaf _ -> leaf_at acc d
+    | Inode n -> go n.below (d + 1) (go n.above (d + 1) acc)
+  in
+  go t.root 0 init
+
+let max_depth t = depth_fold t ~init:0 ~leaf_at:(fun acc d -> if d > acc then d else acc)
+
+let average_leaf_depth t =
+  let total = depth_fold t ~init:0 ~leaf_at:(fun acc d -> acc + d) in
+  float_of_int total /. float_of_int (leaf_count t)
+
+let locate t x =
+  if not (Aqv_num.Domain.contains t.domain x) then invalid_arg "Itree.locate: outside domain";
+  let rec go node path =
+    Aqv_util.Metrics.add_itree_nodes 1;
+    match node.kind with
+    | Leaf lf -> (List.rev path, lf)
+    | Inode n ->
+      if Q.sign (Linfun.eval n.diff x) >= 0 then go n.above (node :: path)
+      else go n.below (node :: path)
+  in
+  go t.root []

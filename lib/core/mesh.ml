@@ -1,0 +1,415 @@
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Domain = Aqv_num.Domain
+module Pvec = Aqv_util.Pvec
+module W = Aqv_util.Wire
+module Sha256 = Aqv_crypto.Sha256
+module Signer = Aqv_crypto.Signer
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Template = Aqv_db.Template
+
+let chain_tag = "\x07"
+
+(* Tokens: record positions 0..n-1, then MIN = n, MAX = n+1. *)
+
+type cell = { lob : Q.t; hib : Q.t; order : int Pvec.t }
+
+type run = { s : int; e : int; signature : string }
+
+type t = {
+  table : Table.t;
+  cells : cell array;
+  runs : (int * int, run list) Hashtbl.t;
+  n : int;
+  signatures : int;
+}
+
+type link = { span : Q.t * Q.t; signature : string }
+
+type vo = {
+  cell_bounds : Q.t * Q.t;
+  left : Vo.boundary;
+  right : Vo.boundary;
+  links : link list;
+}
+
+type response = { result : Record.t list; vo : vo }
+
+let subdomain_count t = Array.length t.cells
+let signature_count t = t.signatures
+
+(* ------------------------------ sweep ------------------------------ *)
+
+(* Shared with [Sorting.build_1d] in spirit; kept separate because the
+   mesh needs adjacency-run bookkeeping, not Merkle snapshots. *)
+let sweep_events table =
+  let fns = Table.functions table in
+  let n = Array.length fns in
+  let dom = Table.domain table in
+  let dlo = Domain.lo dom 0 and dhi = Domain.hi dom 0 in
+  let events = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let diff = Linfun.sub fns.(i) fns.(j) in
+      let a = Linfun.coeff diff 0 and b = Linfun.const diff in
+      if Q.sign a <> 0 then begin
+        let root = Q.div (Q.neg b) a in
+        if Q.compare dlo root < 0 && Q.compare root dhi < 0 then
+          events := (root, i, j) :: !events
+      end
+    done
+  done;
+  let events = Array.of_list !events in
+  Array.sort (fun (a, _, _) (b, _, _) -> Q.compare a b) events;
+  let boundaries =
+    Array.to_list events
+    |> List.map (fun (r, _, _) -> r)
+    |> List.sort_uniq Q.compare
+    |> Array.of_list
+  in
+  (events, boundaries)
+
+(* Walk the arrangement left to right, calling [on_cell c lob hib order]
+   for every subdomain (with the current order array) and
+   [on_adjacency_change ~ended ~started cell] when pairs stop/start
+   being adjacent. Returns the number of cells. *)
+let sweep table ~on_cell ~on_adjacency_change =
+  let fns = Table.functions table in
+  let n = Array.length fns in
+  let dom = Table.domain table in
+  let dlo = Domain.lo dom 0 and dhi = Domain.hi dom 0 in
+  let events, boundaries = sweep_events table in
+  let ncells = Array.length boundaries + 1 in
+  let cell_bounds c =
+    let lo = if c = 0 then dlo else boundaries.(c - 1) in
+    let hi = if c = ncells - 1 then dhi else boundaries.(c) in
+    (lo, hi)
+  in
+  let sample c =
+    let lo, hi = cell_bounds c in
+    [| Q.average lo hi |]
+  in
+  (* initial order *)
+  let score0 = Array.map (fun f -> Linfun.eval f (sample 0)) fns in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Q.compare score0.(a) score0.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let pos = Array.make n 0 in
+  Array.iteri (fun idx p -> pos.(p) <- idx) order;
+  let lob0, hib0 = cell_bounds 0 in
+  on_cell 0 lob0 hib0 order;
+  (* extended token at pair-slot endpoints *)
+  let tmin = n and tmax = n + 1 in
+  let ext i = if i = 0 then tmin else if i = n + 1 then tmax else order.(i - 1) in
+  let pair_at_slot k = (ext k, ext (k + 1)) in
+  let m = Array.length events in
+  let e = ref 0 in
+  for c = 1 to ncells - 1 do
+    let x = boundaries.(c - 1) in
+    let involved = Hashtbl.create 8 in
+    while
+      !e < m
+      && (let r, _, _ = events.(!e) in
+          Q.equal r x)
+    do
+      let _, i, j = events.(!e) in
+      Hashtbl.replace involved i ();
+      Hashtbl.replace involved j ();
+      incr e
+    done;
+    (* group by equal score at x; each group is a contiguous block *)
+    let groups = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun p () ->
+        let v = Q.to_string (Linfun.eval fns.(p) [| x |]) in
+        Hashtbl.replace groups v (p :: Option.value ~default:[] (Hashtbl.find_opt groups v)))
+      involved;
+    (* collect all affected pair slots before rewriting *)
+    let slots = Hashtbl.create 16 in
+    let blocks = ref [] in
+    Hashtbl.iter
+      (fun _ members ->
+        let members = Array.of_list members in
+        let positions = Array.map (fun p -> pos.(p)) members in
+        Array.sort compare positions;
+        let base = positions.(0) in
+        let g = Array.length positions in
+        for k = 1 to g - 1 do
+          if positions.(k) <> base + k then invalid_arg "Mesh.sweep: group not contiguous"
+        done;
+        for k = base to base + g do
+          Hashtbl.replace slots k ()
+        done;
+        blocks := (base, members) :: !blocks)
+      groups;
+    let slot_list = Hashtbl.fold (fun k () acc -> k :: acc) slots [] in
+    let old_pairs = List.map (fun k -> (k, pair_at_slot k)) slot_list in
+    (* rewrite each block by score at the next cell's sample *)
+    let sample_c = sample c in
+    List.iter
+      (fun (base, members) ->
+        let score = Array.map (fun p -> Linfun.eval fns.(p) sample_c) members in
+        let by = Array.init (Array.length members) Fun.id in
+        Array.sort
+          (fun a b ->
+            let cmp = Q.compare score.(a) score.(b) in
+            if cmp <> 0 then cmp else compare members.(a) members.(b))
+          by;
+        Array.iteri
+          (fun slot bidx ->
+            let p = members.(bidx) in
+            let target = base + slot in
+            order.(target) <- p;
+            pos.(p) <- target)
+          by)
+      !blocks;
+    let ended = ref [] and started = ref [] in
+    List.iter
+      (fun (k, old_pair) ->
+        let new_pair = pair_at_slot k in
+        if old_pair <> new_pair then begin
+          ended := old_pair :: !ended;
+          started := new_pair :: !started
+        end)
+      old_pairs;
+    on_adjacency_change ~ended:!ended ~started:!started c;
+    let lob, hib = cell_bounds c in
+    on_cell c lob hib order
+  done;
+  ncells
+
+(* ------------------------------ build ------------------------------ *)
+
+let token_digest rdig n tok =
+  if tok = n then Record.min_sentinel_digest
+  else if tok = n + 1 then Record.max_sentinel_digest
+  else rdig.(tok)
+
+let span_digest du dv (lo, hi) =
+  let w = W.writer () in
+  W.bytes w du;
+  W.bytes w dv;
+  Q.encode w lo;
+  Q.encode w hi;
+  Sha256.digest_list [ chain_tag; W.contents w ]
+
+let build table keypair =
+  if Table.dim table <> 1 then invalid_arg "Mesh.build: 1-D tables only";
+  let n = Table.size table in
+  let rdig = Array.map Record.digest (Table.records table) in
+  let cells = ref [] in
+  let bounds = Hashtbl.create 64 in
+  let open_runs : (int * int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let runs : (int * int, run list) Hashtbl.t = Hashtbl.create (2 * n) in
+  let nsigs = ref 0 in
+  let tmin = n and tmax = n + 1 in
+  let on_cell c lob hib order =
+    Hashtbl.replace bounds c (lob, hib);
+    cells := (c, lob, hib, Pvec.of_array order) :: !cells;
+    if c = 0 then begin
+      (* open a run for every initial adjacency *)
+      let ext i = if i = 0 then tmin else if i = n + 1 then tmax else order.(i - 1) in
+      for k = 0 to n do
+        Hashtbl.replace open_runs (ext k, ext (k + 1)) 0
+      done
+    end
+  in
+  let finalize pair s e =
+    let u, v = pair in
+    let lo = fst (Hashtbl.find bounds s) in
+    let hi = snd (Hashtbl.find bounds e) in
+    let d = span_digest (token_digest rdig n u) (token_digest rdig n v) (lo, hi) in
+    let signature = keypair.Signer.sign d in
+    incr nsigs;
+    Hashtbl.replace runs pair
+      ({ s; e; signature } :: Option.value ~default:[] (Hashtbl.find_opt runs pair))
+  in
+  let on_adjacency_change ~ended ~started c =
+    (* bounds of cell c are not registered yet: register via on_cell
+       ordering — adjacency change fires before on_cell c, so ended runs
+       finish at c-1 whose bounds are known *)
+    List.iter
+      (fun pair ->
+        match Hashtbl.find_opt open_runs pair with
+        | Some s ->
+          Hashtbl.remove open_runs pair;
+          finalize pair s (c - 1)
+        | None -> ())
+      ended;
+    List.iter (fun pair -> Hashtbl.replace open_runs pair c) started
+  in
+  let ncells = sweep table ~on_cell ~on_adjacency_change in
+  (* close all remaining runs at the last cell *)
+  Hashtbl.iter (fun pair s -> finalize pair s (ncells - 1)) open_runs;
+  let cell_arr = Array.make ncells None in
+  List.iter (fun (c, lob, hib, order) -> cell_arr.(c) <- Some { lob; hib; order }) !cells;
+  { table; cells = Array.map Option.get cell_arr; runs; n; signatures = !nsigs }
+
+let count_signatures table =
+  if Table.dim table <> 1 then invalid_arg "Mesh.count_signatures: 1-D tables only";
+  let n = Table.size table in
+  let nsigs = ref (n + 1) (* the initial adjacencies each end in a signature *) in
+  let ncells =
+    sweep table
+      ~on_cell:(fun _ _ _ _ -> ())
+      ~on_adjacency_change:(fun ~ended:_ ~started c ->
+        ignore c;
+        (* each started run eventually ends in exactly one signature *)
+        nsigs := !nsigs + List.length started)
+  in
+  (!nsigs, ncells)
+
+let logical_size_bytes t =
+  let sig_size =
+    match Hashtbl.fold (fun _ rs acc -> match rs with r :: _ -> Some r | [] -> acc) t.runs None with
+    | Some r -> String.length r.signature
+    | None -> 0
+  in
+  (* per-cell sorted list of n record ids (8 bytes each) + bounds,
+     plus all signatures with their span metadata *)
+  let cell_bytes = (t.n * 8) + 32 in
+  (Array.length t.cells * cell_bytes) + (t.signatures * (sig_size + 32))
+
+(* ------------------------- query processing ------------------------ *)
+
+let locate_cell t x0 =
+  let ncells = Array.length t.cells in
+  let rec scan c =
+    if c >= ncells then invalid_arg "Mesh.answer: outside domain"
+    else begin
+      Aqv_util.Metrics.add_mesh_cells 1;
+      let cell = t.cells.(c) in
+      let inside =
+        Q.compare cell.lob x0 <= 0
+        && (Q.compare x0 cell.hib < 0 || c = ncells - 1)
+      in
+      if inside then c else scan (c + 1)
+    end
+  in
+  scan 0
+
+let find_run t pair c =
+  match Hashtbl.find_opt t.runs pair with
+  | None -> invalid_arg "Mesh: missing run"
+  | Some rs ->
+    (match List.find_opt (fun r -> r.s <= c && c <= r.e) rs with
+    | Some r -> r
+    | None -> invalid_arg "Mesh: no covering run")
+
+let answer t query =
+  let x = Query.x query in
+  if Array.length x <> 1 then invalid_arg "Mesh.answer: 1-D input expected";
+  let c = locate_cell t x.(0) in
+  let cell = t.cells.(c) in
+  let fns = Table.functions t.table in
+  let n = t.n in
+  let score i =
+    Aqv_util.Metrics.add_mesh_cells 1;
+    Linfun.eval fns.(Pvec.get cell.order i) x
+  in
+  let wlo, whi =
+    match Query.window ~n ~score query with
+    | Some (a, b) -> (a + 1, b + 1)
+    | None ->
+      let l = match query with Query.Range { l; _ } -> l | _ -> assert false in
+      let ins = Query.insertion_point ~n ~score l in
+      (ins + 1, ins)
+  in
+  let tok_at pos = if pos = 0 then t.n else if pos = n + 1 then t.n + 1 else Pvec.get cell.order (pos - 1) in
+  let record_at pos =
+    Aqv_util.Metrics.add_mesh_cells 1;
+    Table.record t.table (Pvec.get cell.order (pos - 1))
+  in
+  let left = if wlo - 1 = 0 then Vo.Min_sentinel else Vo.Boundary_record (record_at (wlo - 1)) in
+  let right =
+    if whi + 1 = n + 1 then Vo.Max_sentinel else Vo.Boundary_record (record_at (whi + 1))
+  in
+  let result = List.init (whi - wlo + 1) (fun k -> record_at (wlo + k)) in
+  let links =
+    List.init (whi + 1 - (wlo - 1)) (fun k ->
+        let p = wlo - 1 + k in
+        Aqv_util.Metrics.add_mesh_cells 1;
+        let run = find_run t (tok_at p, tok_at (p + 1)) c in
+        let lo = t.cells.(run.s).lob and hi = t.cells.(run.e).hib in
+        { span = (lo, hi); signature = run.signature })
+  in
+  { result; vo = { cell_bounds = (cell.lob, cell.hib); left; right; links } }
+
+let vo_size_bytes vo =
+  let w = W.writer () in
+  let enc_boundary = function
+    | Vo.Min_sentinel -> W.u8 w 0
+    | Vo.Max_sentinel -> W.u8 w 1
+    | Vo.Boundary_record r ->
+      W.u8 w 2;
+      Record.encode w r
+  in
+  Q.encode w (fst vo.cell_bounds);
+  Q.encode w (snd vo.cell_bounds);
+  enc_boundary vo.left;
+  enc_boundary vo.right;
+  W.list w
+    (fun l ->
+      Q.encode w (fst l.span);
+      Q.encode w (snd l.span);
+      W.bytes w l.signature)
+    vo.links;
+  let sz = W.size w in
+  Aqv_util.Metrics.add_bytes_out sz;
+  sz
+
+(* --------------------------- verification -------------------------- *)
+
+let verify ~template ~domain ~verify_signature query (resp : response) =
+  let open Semantics in
+  match
+    let x = Query.x query in
+    guard (Array.length x = 1 && Domain.dim domain = 1) Outside_domain;
+    guard (Domain.contains domain x) Outside_domain;
+    let x0 = x.(0) in
+    let dhi = Domain.hi domain 0 in
+    let vo = resp.vo in
+    (* token digests across the chain *)
+    let boundary_digest = function
+      | Vo.Min_sentinel -> Record.min_sentinel_digest
+      | Vo.Max_sentinel -> Record.max_sentinel_digest
+      | Vo.Boundary_record r -> Record.digest r
+    in
+    let digests =
+      (boundary_digest vo.left :: List.map Record.digest resp.result)
+      @ [ boundary_digest vo.right ]
+    in
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      | _ -> []
+    in
+    let chain = pairs digests in
+    guard (List.length chain = List.length vo.links) Malformed;
+    List.iter2
+      (fun (du, dv) l ->
+        let lo, hi = l.span in
+        (* the span must cover the query input (half-open; the domain's
+           right end belongs to the last cell) *)
+        let covers =
+          Q.compare lo x0 <= 0
+          && (Q.compare x0 hi < 0 || (Q.equal hi dhi && Q.compare x0 hi <= 0))
+        in
+        guard covers Wrong_subdomain;
+        let d = span_digest du dv l.span in
+        guard (verify_signature d l.signature) Bad_signature)
+      chain vo.links;
+    (* window semantics; the mesh VO does not commit to n, so a short
+       top-k/KNN answer must exhibit both sentinels *)
+    let count = List.length resp.result in
+    let n_for_semantics =
+      if vo.left = Vo.Min_sentinel && vo.right = Vo.Max_sentinel then count else max_int
+    in
+    Semantics.check_window ~template ~x ~n:n_for_semantics ~query ~left:vo.left
+      ~right:vo.right ~result:resp.result
+  with
+  | () -> Ok ()
+  | exception Reject r -> Error r

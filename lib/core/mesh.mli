@@ -1,0 +1,69 @@
+(** The signature-mesh baseline (Yang, Cai & Hu, ICDE 2016), against
+    which the paper evaluates the IFMH-tree.
+
+    The weight domain is partitioned at every pairwise intersection
+    point; each subdomain keeps the functions sorted; every pair of
+    records consecutive in the sorted list is covered by a signature
+    over [H(H(r_u) | H(r_v) | B)] where [B] identifies the span of
+    consecutive subdomains on which the pair stays adjacent (merging
+    runs is the "mesh" optimization of the original paper). Query
+    processing locates the subdomain by a {e linear scan} and the
+    verification object carries one signature per consecutive pair of
+    the answer — both costs the IFMH-tree is designed to beat.
+
+    Only the univariate case is implemented (the configuration of the
+    paper's simulation section). *)
+
+type t
+
+val build : Aqv_db.Table.t -> Aqv_crypto.Signer.keypair -> t
+(** Owner-side construction: sweep the arrangement, maintain adjacency
+    runs, sign each maximal run.
+    @raise Invalid_argument unless the table is 1-D. *)
+
+val subdomain_count : t -> int
+val signature_count : t -> int
+
+val count_signatures : Aqv_db.Table.t -> int * int
+(** [(signatures, subdomains)] the mesh would need, computed by a crypto-
+    free sweep — used to produce the paper-scale series of Fig. 5a. *)
+
+val logical_size_bytes : t -> int
+(** Storage under the paper's model: per-subdomain sorted lists plus all
+    run signatures. *)
+
+(** {1 Query processing and verification} *)
+
+type link = {
+  span : Aqv_num.Rational.t * Aqv_num.Rational.t;
+      (** the closed-open x-interval on which this pair is adjacent *)
+  signature : string;
+}
+
+type vo = {
+  cell_bounds : Aqv_num.Rational.t * Aqv_num.Rational.t;
+  left : Vo.boundary;
+  right : Vo.boundary;
+  links : link list;
+      (** one per consecutive pair across [left; result...; right] *)
+}
+
+type response = { result : Aqv_db.Record.t list; vo : vo }
+
+val answer : t -> Query.t -> response
+(** Linear-scan subdomain location (each scanned cell ticks the
+    mesh-cell counter in {!Aqv_util.Metrics}), then the same window
+    semantics as the IFMH server. *)
+
+val vo_size_bytes : vo -> int
+
+val verify :
+  template:Aqv_db.Template.t ->
+  domain:Aqv_num.Domain.t ->
+  verify_signature:(string -> string -> bool) ->
+  Query.t ->
+  response ->
+  (unit, Semantics.rejection) result
+(** Client-side verification: one signature check per consecutive pair,
+    span containment of the query input, then the shared window
+    semantics. *)

@@ -1,0 +1,149 @@
+module Q = Aqv_num.Rational
+module W = Aqv_util.Wire
+module Signer = Aqv_crypto.Signer
+
+type bundle = {
+  template : Aqv_db.Template.t;
+  domain : Aqv_num.Domain.t;
+  public : Signer.public;
+  epoch : int;
+}
+
+let bundle_of_index index public =
+  {
+    template = Aqv_db.Table.template (Ifmh.table index);
+    domain = Aqv_db.Table.domain (Ifmh.table index);
+    public;
+    epoch = Ifmh.epoch index;
+  }
+
+let encode_bundle w b =
+  Aqv_db.Template.encode w b.template;
+  Aqv_num.Domain.encode w b.domain;
+  Signer.encode_public w b.public;
+  W.varint w b.epoch
+
+let decode_bundle r =
+  let template = Aqv_db.Template.decode r in
+  let domain = Aqv_num.Domain.decode r in
+  let public = Signer.decode_public r in
+  let epoch = W.read_varint r in
+  { template; domain; public; epoch }
+
+let client_ctx b =
+  Client.with_min_epoch
+    (Client.make_ctx ~template:b.template ~domain:b.domain
+       ~verify_signature:(Signer.verifier b.public))
+    b.epoch
+
+type request =
+  | Run_query of Query.t
+  | Run_rank of { x : Q.t array; record_id : int }
+  | Run_count of { x : Q.t array; l : Q.t; u : Q.t }
+
+type reply =
+  | Answer of Server.response
+  | Rank_answer of Server.response option
+  | Count_answer of Count.response
+  | Refused of string
+
+let encode_x w x =
+  W.varint w (Array.length x);
+  Array.iter (Q.encode w) x
+
+let decode_x r =
+  let d = W.read_varint r in
+  Array.init d (fun _ -> Q.decode r)
+
+let encode_request w = function
+  | Run_query q ->
+    W.u8 w 0;
+    Query.encode w q
+  | Run_rank { x; record_id } ->
+    W.u8 w 1;
+    encode_x w x;
+    W.varint w record_id
+  | Run_count { x; l; u } ->
+    W.u8 w 2;
+    encode_x w x;
+    Q.encode w l;
+    Q.encode w u
+
+let decode_request r =
+  match W.read_u8 r with
+  | 0 -> Run_query (Query.decode r)
+  | 1 ->
+    let x = decode_x r in
+    let record_id = W.read_varint r in
+    Run_rank { x; record_id }
+  | 2 ->
+    let x = decode_x r in
+    let l = Q.decode r in
+    let u = Q.decode r in
+    Run_count { x; l; u }
+  | _ -> failwith "Protocol: bad request tag"
+
+let encode_reply w = function
+  | Answer resp ->
+    W.u8 w 0;
+    Server.encode_response w resp
+  | Rank_answer None -> W.u8 w 1
+  | Rank_answer (Some resp) ->
+    W.u8 w 2;
+    Server.encode_response w resp
+  | Count_answer resp ->
+    W.u8 w 3;
+    Count.encode w resp
+  | Refused msg ->
+    W.u8 w 4;
+    W.bytes w msg
+
+let decode_reply r =
+  match W.read_u8 r with
+  | 0 -> Answer (Server.decode_response r)
+  | 1 -> Rank_answer None
+  | 2 -> Rank_answer (Some (Server.decode_response r))
+  | 3 -> Count_answer (Count.decode r)
+  | 4 -> Refused (W.read_bytes r)
+  | _ -> failwith "Protocol: bad reply tag"
+
+let handle index request =
+  match
+    match request with
+    | Run_query q -> Answer (Server.answer index q)
+    | Run_rank { x; record_id } -> Rank_answer (Server.rank index ~x ~record_id)
+    | Run_count { x; l; u } -> Count_answer (Count.answer index ~x ~l ~u)
+  with
+  | reply -> reply
+  | exception Invalid_argument msg -> Refused msg
+  | exception Failure msg -> Refused msg
+
+(* ------------------------------ framing ----------------------------- *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_frame oc payload =
+  let n = String.length payload in
+  if n > max_frame then failwith "Protocol: frame too large";
+  List.iter (fun shift -> output_char oc (Char.chr ((n lsr shift) land 0xff))) [ 24; 16; 8; 0 ];
+  output_string oc payload;
+  flush oc
+
+let read_frame ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+    let b i = Char.code i in
+    let n =
+      try
+        (* sequential lets: [and] would leave the byte order unspecified *)
+        let c1 = input_char ic in
+        let c2 = input_char ic in
+        let c3 = input_char ic in
+        (b c0 lsl 24) lor (b c1 lsl 16) lor (b c2 lsl 8) lor b c3
+      with End_of_file -> failwith "Protocol: truncated frame header"
+    in
+    if n > max_frame then failwith "Protocol: frame too large";
+    let buf = Bytes.create n in
+    (try really_input ic buf 0 n with End_of_file -> failwith "Protocol: truncated frame");
+    Some (Bytes.to_string buf)

@@ -1,0 +1,56 @@
+(** Wire protocol between data users and the storage server.
+
+    Completes the paper's three-party model as running code: the owner
+    publishes a {!bundle} (template, domain, public key, epoch) out of
+    band; the server answers length-prefixed framed requests; users
+    verify the replies with {!Client}/{!Count} against the bundle. Used
+    by [bin/aqv_net.ml], which runs the server and client as separate
+    processes over TCP. *)
+
+(** {1 Owner's public bundle} *)
+
+type bundle = {
+  template : Aqv_db.Template.t;
+  domain : Aqv_num.Domain.t;
+  public : Aqv_crypto.Signer.public;
+  epoch : int;
+}
+
+val bundle_of_index : Ifmh.t -> Aqv_crypto.Signer.public -> bundle
+val encode_bundle : Aqv_util.Wire.writer -> bundle -> unit
+val decode_bundle : Aqv_util.Wire.reader -> bundle
+(** @raise Failure on malformed input. *)
+
+val client_ctx : bundle -> Client.ctx
+(** Verification context that also requires the bundle's epoch. *)
+
+(** {1 Requests and replies} *)
+
+type request =
+  | Run_query of Query.t
+  | Run_rank of { x : Aqv_num.Rational.t array; record_id : int }
+  | Run_count of { x : Aqv_num.Rational.t array; l : Aqv_num.Rational.t; u : Aqv_num.Rational.t }
+
+type reply =
+  | Answer of Server.response
+  | Rank_answer of Server.response option
+  | Count_answer of Count.response
+  | Refused of string
+
+val encode_request : Aqv_util.Wire.writer -> request -> unit
+val decode_request : Aqv_util.Wire.reader -> request
+val encode_reply : Aqv_util.Wire.writer -> reply -> unit
+val decode_reply : Aqv_util.Wire.reader -> reply
+(** @raise Failure on malformed input. *)
+
+val handle : Ifmh.t -> request -> reply
+(** Server-side dispatch. Never raises: bad inputs come back as
+    [Refused]. *)
+
+(** {1 Framing} *)
+
+val write_frame : out_channel -> string -> unit
+(** 4-byte big-endian length prefix + payload; flushes. *)
+
+val read_frame : in_channel -> string option
+(** [None] on clean EOF. @raise Failure on oversized/truncated frames. *)

@@ -1,0 +1,37 @@
+(** Query-semantics re-execution shared by the IFMH client and the
+    signature-mesh client: given an authenticated window (result records
+    plus its two boundaries), check order, membership and completeness
+    conditions for the query. *)
+
+type rejection =
+  | Malformed
+  | Bad_signature
+  | Wrong_subdomain
+  | Order_violation
+  | Boundary_violation
+  | Count_mismatch
+  | Outside_domain
+  | Stale_epoch
+
+val rejection_to_string : rejection -> string
+
+exception Reject of rejection
+
+val guard : bool -> rejection -> unit
+(** @raise Reject when the condition fails. *)
+
+val check_window :
+  template:Aqv_db.Template.t ->
+  x:Aqv_num.Rational.t array ->
+  n:int ->
+  query:Query.t ->
+  left:Vo.boundary ->
+  right:Vo.boundary ->
+  result:Aqv_db.Record.t list ->
+  unit
+(** [n] is the total number of records committed in the list. Checks:
+    scores are non-decreasing across [left; result; right]; every result
+    record satisfies the query; the boundaries prove completeness
+    (strictly outside the range, the max sentinel for top-k, no nearer
+    neighbour for KNN).
+    @raise Reject on any violation. *)

@@ -1,0 +1,196 @@
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Pvec = Aqv_util.Pvec
+module Mht = Aqv_merkle.Mht
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+
+type storage = Snapshot | Recompute
+
+type leaf_lists = { order : int Pvec.t; fmh : Mht.t }
+
+type entry =
+  | Full of leaf_lists
+  | Thin of { order : int Pvec.t; root : string }
+
+type t = { entries : entry array; records : int; rdig : string array; storage : storage }
+
+let storage t = t.storage
+let record_count t = t.records
+let leaf_count t = Array.length t.entries
+let fmh_leaf_count t = t.records + 2
+
+(* Sort record positions by score at [sample], ties by position. *)
+let sorted_positions fns sample =
+  let idx = Array.init (Array.length fns) Fun.id in
+  let score = Array.map (fun f -> Linfun.eval f sample) fns in
+  Array.sort
+    (fun a b ->
+      let c = Q.compare score.(a) score.(b) in
+      if c <> 0 then c else compare a b)
+    idx;
+  idx
+
+let fmh_of_order rdig order =
+  let n = Array.length order in
+  let digests = Array.make (n + 2) Record.min_sentinel_digest in
+  digests.(n + 1) <- Record.max_sentinel_digest;
+  for k = 0 to n - 1 do
+    digests.(k + 1) <- rdig.(order.(k))
+  done;
+  Mht.of_digests digests
+
+let leaf t id =
+  match t.entries.(id) with
+  | Full lists -> lists
+  | Thin { order; root } ->
+    (* rebuild on demand; the shape is a deterministic function of the
+       leaf count, so the recomputed tree is bit-identical *)
+    let fmh = fmh_of_order t.rdig (Pvec.to_array order) in
+    assert (String.equal (Mht.root fmh) root);
+    { order; fmh }
+
+let fmh_root t id =
+  match t.entries.(id) with
+  | Full lists -> Mht.root lists.fmh
+  | Thin { root; _ } -> root
+
+(* ------------------------- 1-D sweep build ------------------------- *)
+
+let build_1d ~storage table itree rdig =
+  let fns = Table.functions table in
+  let n = Array.length fns in
+  let dom = Table.domain table in
+  let dlo = Aqv_num.Domain.lo dom 0 and dhi = Aqv_num.Domain.hi dom 0 in
+  (* crossing events strictly inside the domain, keyed by root *)
+  let events = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let diff = Linfun.sub fns.(i) fns.(j) in
+      let a = Linfun.coeff diff 0 and b = Linfun.const diff in
+      if Q.sign a <> 0 then begin
+        let root = Q.div (Q.neg b) a in
+        if Q.compare dlo root < 0 && Q.compare root dhi < 0 then
+          events := (root, i, j) :: !events
+      end
+    done
+  done;
+  let events = Array.of_list !events in
+  Array.sort (fun (a, _, _) (b, _, _) -> Q.compare a b) events;
+  (* distinct boundaries *)
+  let boundaries =
+    Array.to_list events
+    |> List.map (fun (r, _, _) -> r)
+    |> List.sort_uniq Q.compare
+    |> Array.of_list
+  in
+  let ncells = Array.length boundaries + 1 in
+  if ncells <> Itree.leaf_count itree then
+    invalid_arg "Sorting.build: tree/sweep cell mismatch";
+  let cell_sample c =
+    let lo = if c = 0 then dlo else boundaries.(c - 1) in
+    let hi = if c = ncells - 1 then dhi else boundaries.(c) in
+    [| Q.average lo hi |]
+  in
+  let entries = Array.make ncells None in
+  let stash c order tree =
+    entries.(c) <-
+      Some
+        (match storage with
+        | Snapshot -> Full { order; fmh = tree }
+        | Recompute -> Thin { order; root = Mht.root tree })
+  in
+  (* initial cell *)
+  let order0 = sorted_positions fns (cell_sample 0) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun idx p -> pos.(p) <- idx) order0;
+  let cur_order = Array.copy order0 in
+  let pv = ref (Pvec.of_array order0) in
+  let tree = ref (fmh_of_order rdig order0) in
+  stash 0 !pv !tree;
+  (* sweep: process events grouped by boundary *)
+  let m = Array.length events in
+  let e = ref 0 in
+  for c = 1 to ncells - 1 do
+    let x = boundaries.(c - 1) in
+    (* records involved in crossings at x *)
+    let involved = Hashtbl.create 8 in
+    while
+      !e < m
+      && (let r, _, _ = events.(!e) in
+          Q.equal r x)
+    do
+      let _, i, j = events.(!e) in
+      Hashtbl.replace involved i ();
+      Hashtbl.replace involved j ();
+      incr e
+    done;
+    (* group involved records by their (equal) score at x: each group
+       occupies contiguous positions and reorders there *)
+    let groups = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun p () ->
+        let v = Q.to_string (Linfun.eval fns.(p) [| x |]) in
+        Hashtbl.replace groups v (p :: Option.value ~default:[] (Hashtbl.find_opt groups v)))
+      involved;
+    let sample = cell_sample c in
+    Hashtbl.iter
+      (fun _ members ->
+        let members = Array.of_list members in
+        (* current positions of the group: must be contiguous *)
+        let positions = Array.map (fun p -> pos.(p)) members in
+        Array.sort compare positions;
+        let base = positions.(0) in
+        for k = 1 to Array.length positions - 1 do
+          if positions.(k) <> base + k then
+            invalid_arg "Sorting.build: crossing group not contiguous"
+        done;
+        (* new order inside the group: by score at the next cell's
+           sample, ties by position *)
+        let score = Array.map (fun p -> Linfun.eval fns.(p) sample) members in
+        let by = Array.init (Array.length members) Fun.id in
+        Array.sort
+          (fun a b ->
+            let cmp = Q.compare score.(a) score.(b) in
+            if cmp <> 0 then cmp else compare members.(a) members.(b))
+          by;
+        Array.iteri
+          (fun slot bidx ->
+            let p = members.(bidx) in
+            let target = base + slot in
+            if cur_order.(target) <> p then begin
+              cur_order.(target) <- p;
+              pos.(p) <- target;
+              pv := Pvec.set !pv target p;
+              tree := Mht.set !tree (target + 1) rdig.(p)
+            end
+            else pos.(p) <- target)
+          by)
+      groups;
+    stash c !pv !tree
+  done;
+  Array.map Option.get entries
+
+(* ------------------------ general-d build -------------------------- *)
+
+let build_nd ~storage table itree rdig =
+  let fns = Table.functions table in
+  Array.map
+    (fun (node : Itree.node) ->
+      let sample = Aqv_num.Region.interior_point node.Itree.region in
+      let order = sorted_positions fns sample in
+      let tree = fmh_of_order rdig order in
+      let pv = Pvec.of_array order in
+      match storage with
+      | Snapshot -> Full { order = pv; fmh = tree }
+      | Recompute -> Thin { order = pv; root = Mht.root tree })
+    (Itree.leaves itree)
+
+let build ?(storage = Snapshot) table itree =
+  if Table.size table < 1 then invalid_arg "Sorting.build: empty table";
+  let rdig = Array.map Record.digest (Table.records table) in
+  let entries =
+    if Table.dim table = 1 then build_1d ~storage table itree rdig
+    else build_nd ~storage table itree rdig
+  in
+  { entries; records = Table.size table; rdig; storage }

@@ -1,0 +1,49 @@
+(** Per-subdomain sorted function lists and their FMH-trees.
+
+    For every I-tree leaf, the records are sorted by score at an
+    interior point of the subdomain (ties by record position, making
+    the order total even for identical functions), bracketed by the
+    [min]/[max] sentinels, and committed in a Merkle tree.
+
+    In dimension 1, construction is a left-to-right sweep: crossing a
+    subdomain boundary transposes exactly the records that intersect
+    there, so each snapshot costs O(g log n) over its neighbour (for a
+    crossing group of size g) thanks to the persistence of
+    {!Aqv_util.Pvec} and {!Aqv_merkle.Mht}. In higher dimensions each
+    leaf is sorted independently at its witness point.
+
+    Two storage policies trade memory for query-time hashing:
+    [Snapshot] keeps one persistent FMH per subdomain (shared
+    structure, O(log n) marginal nodes per subdomain); [Recompute]
+    keeps only the sorted order and the FMH root per subdomain and
+    rebuilds the tree — O(n) hashes — when a query actually lands in
+    the subdomain. The ablation bench quantifies the trade. *)
+
+type storage = Snapshot | Recompute
+
+type leaf_lists = {
+  order : int Aqv_util.Pvec.t;
+      (** record positions (into the table), ascending by score *)
+  fmh : Aqv_merkle.Mht.t;
+      (** leaves: [min sentinel; record digests in order; max sentinel] *)
+}
+
+type t
+
+val build : ?storage:storage -> Aqv_db.Table.t -> Itree.t -> t
+(** Default storage: [Snapshot].
+    @raise Invalid_argument if the table and tree disagree. *)
+
+val leaf : t -> int -> leaf_lists
+(** Lists for I-tree leaf [id]. Under [Recompute] this rebuilds the
+    FMH-tree (counted as hash operations in {!Aqv_util.Metrics}). *)
+
+val fmh_root : t -> int -> string
+(** Root commitment of leaf [id]'s FMH-tree; never rebuilds. *)
+
+val storage : t -> storage
+val record_count : t -> int
+val leaf_count : t -> int
+
+val fmh_leaf_count : t -> int
+(** Leaves per FMH-tree: [record_count + 2]. *)

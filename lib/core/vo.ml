@@ -1,0 +1,243 @@
+module W = Aqv_util.Wire
+module Record = Aqv_db.Record
+module Halfspace = Aqv_num.Halfspace
+
+type boundary = Min_sentinel | Max_sentinel | Boundary_record of Record.t
+
+type path_step = {
+  rp : Record.t;
+  rq : Record.t;
+  taken : Halfspace.side;
+  sibling : string;
+}
+
+type subdomain_proof =
+  | One_sig_path of path_step list
+  | Multi_sig_constraints of (Record.t * Record.t * Halfspace.side) list
+
+type t = {
+  n_leaves : int;
+  epoch : int;
+  window_lo : int;
+  left : boundary;
+  right : boundary;
+  fmh_proof : string list;
+  subdomain : subdomain_proof;
+  signature : string;
+}
+
+let encode_boundary w = function
+  | Min_sentinel -> W.u8 w 0
+  | Max_sentinel -> W.u8 w 1
+  | Boundary_record r ->
+    W.u8 w 2;
+    Record.encode w r
+
+let decode_boundary r =
+  match W.read_u8 r with
+  | 0 -> Min_sentinel
+  | 1 -> Max_sentinel
+  | 2 -> Boundary_record (Record.decode r)
+  | _ -> failwith "Vo: bad boundary tag"
+
+let encode_side w side = W.u8 w (Halfspace.side_to_int side)
+
+let decode_side r =
+  match W.read_u8 r with
+  | 0 -> Halfspace.Above
+  | 1 -> Halfspace.Below
+  | _ -> failwith "Vo: bad side tag"
+
+let encode w t =
+  W.varint w t.n_leaves;
+  W.varint w t.epoch;
+  W.varint w t.window_lo;
+  encode_boundary w t.left;
+  encode_boundary w t.right;
+  W.list w (W.bytes w) t.fmh_proof;
+  (match t.subdomain with
+  | One_sig_path steps ->
+    W.u8 w 0;
+    W.list w
+      (fun s ->
+        Record.encode w s.rp;
+        Record.encode w s.rq;
+        encode_side w s.taken;
+        W.bytes w s.sibling)
+      steps
+  | Multi_sig_constraints cons ->
+    W.u8 w 1;
+    W.list w
+      (fun (rp, rq, side) ->
+        Record.encode w rp;
+        Record.encode w rq;
+        encode_side w side)
+      cons);
+  W.bytes w t.signature
+
+let decode r =
+  let n_leaves = W.read_varint r in
+  let epoch = W.read_varint r in
+  let window_lo = W.read_varint r in
+  let left = decode_boundary r in
+  let right = decode_boundary r in
+  let fmh_proof = W.read_list r W.read_bytes in
+  let subdomain =
+    match W.read_u8 r with
+    | 0 ->
+      One_sig_path
+        (W.read_list r (fun r ->
+             let rp = Record.decode r in
+             let rq = Record.decode r in
+             let taken = decode_side r in
+             let sibling = W.read_bytes r in
+             { rp; rq; taken; sibling }))
+    | 1 ->
+      Multi_sig_constraints
+        (W.read_list r (fun r ->
+             let rp = Record.decode r in
+             let rq = Record.decode r in
+             let side = decode_side r in
+             (rp, rq, side)))
+    | _ -> failwith "Vo: bad subdomain tag"
+  in
+  let signature = W.read_bytes r in
+  { n_leaves; epoch; window_lo; left; right; fmh_proof; subdomain; signature }
+
+let size_bytes t =
+  let w = W.writer () in
+  encode w t;
+  let n = W.size w in
+  Aqv_util.Metrics.add_bytes_out n;
+  n
+
+(* ------------------------- compact encoding ------------------------ *)
+
+(* Records referenced from the VO, deduplicated in first-occurrence
+   order; references are indices into this table. *)
+let record_table t =
+  let seen = Hashtbl.create 16 in
+  let table = ref [] in
+  let count = ref 0 in
+  let intern r =
+    let key = Record.digest r in
+    match Hashtbl.find_opt seen key with
+    | Some idx -> idx
+    | None ->
+      let idx = !count in
+      Hashtbl.add seen key idx;
+      table := r :: !table;
+      incr count;
+      idx
+  in
+  let intern_boundary = function
+    | Min_sentinel | Max_sentinel -> ()
+    | Boundary_record r -> ignore (intern r)
+  in
+  intern_boundary t.left;
+  intern_boundary t.right;
+  (match t.subdomain with
+  | One_sig_path steps ->
+    List.iter
+      (fun s ->
+        ignore (intern s.rp);
+        ignore (intern s.rq))
+      steps
+  | Multi_sig_constraints cons ->
+    List.iter
+      (fun (rp, rq, _) ->
+        ignore (intern rp);
+        ignore (intern rq))
+      cons);
+  (List.rev !table, intern)
+
+let encode_compact w t =
+  let table, intern = record_table t in
+  W.varint w t.n_leaves;
+  W.varint w t.epoch;
+  W.varint w t.window_lo;
+  W.list w (Record.encode w) table;
+  let enc_boundary = function
+    | Min_sentinel -> W.u8 w 0
+    | Max_sentinel -> W.u8 w 1
+    | Boundary_record r ->
+      W.u8 w 2;
+      W.varint w (intern r)
+  in
+  enc_boundary t.left;
+  enc_boundary t.right;
+  W.list w (W.bytes w) t.fmh_proof;
+  (match t.subdomain with
+  | One_sig_path steps ->
+    W.u8 w 0;
+    W.list w
+      (fun s ->
+        W.varint w (intern s.rp);
+        W.varint w (intern s.rq);
+        encode_side w s.taken;
+        W.bytes w s.sibling)
+      steps
+  | Multi_sig_constraints cons ->
+    W.u8 w 1;
+    W.list w
+      (fun (rp, rq, side) ->
+        W.varint w (intern rp);
+        W.varint w (intern rq);
+        encode_side w side)
+      cons);
+  W.bytes w t.signature
+
+let decode_compact r =
+  let n_leaves = W.read_varint r in
+  let epoch = W.read_varint r in
+  let window_lo = W.read_varint r in
+  let table = Array.of_list (W.read_list r Record.decode) in
+  let fetch idx =
+    if idx < 0 || idx >= Array.length table then failwith "Vo: bad record reference"
+    else table.(idx)
+  in
+  let dec_boundary r =
+    match W.read_u8 r with
+    | 0 -> Min_sentinel
+    | 1 -> Max_sentinel
+    | 2 -> Boundary_record (fetch (W.read_varint r))
+    | _ -> failwith "Vo: bad boundary tag"
+  in
+  let left = dec_boundary r in
+  let right = dec_boundary r in
+  let fmh_proof = W.read_list r W.read_bytes in
+  let subdomain =
+    match W.read_u8 r with
+    | 0 ->
+      One_sig_path
+        (W.read_list r (fun r ->
+             let rp = fetch (W.read_varint r) in
+             let rq = fetch (W.read_varint r) in
+             let taken = decode_side r in
+             let sibling = W.read_bytes r in
+             { rp; rq; taken; sibling }))
+    | 1 ->
+      Multi_sig_constraints
+        (W.read_list r (fun r ->
+             let rp = fetch (W.read_varint r) in
+             let rq = fetch (W.read_varint r) in
+             let side = decode_side r in
+             (rp, rq, side)))
+    | _ -> failwith "Vo: bad subdomain tag"
+  in
+  let signature = W.read_bytes r in
+  { n_leaves; epoch; window_lo; left; right; fmh_proof; subdomain; signature }
+
+let size_bytes_compact t =
+  let w = W.writer () in
+  encode_compact w t;
+  W.size w
+
+let pp ppf t =
+  let kind, extra =
+    match t.subdomain with
+    | One_sig_path steps -> ("one-sig", List.length steps)
+    | Multi_sig_constraints cons -> ("multi-sig", List.length cons)
+  in
+  Format.fprintf ppf "vo{%s, n=%d, lo=%d, proof=%d digests, subdomain=%d elems}" kind
+    t.n_leaves t.window_lo (List.length t.fmh_proof) extra

@@ -1,0 +1,8 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used to derive deterministic per-message nonces for DSA signing
+    (in the spirit of RFC 6979), which keeps the whole benchmark suite
+    reproducible without an entropy source. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)

@@ -1,0 +1,88 @@
+module Z = Aqv_bigint.Bigint
+
+type priv = {
+  n : Z.t;
+  p : Z.t;
+  q : Z.t;
+  dp : Z.t;  (* d mod p-1 *)
+  dq : Z.t;  (* d mod q-1 *)
+  qinv : Z.t;  (* q^-1 mod p *)
+  k : int;  (* modulus bytes *)
+}
+
+type pub = { n : Z.t; e : Z.t; k : int }
+
+let e_fixed = Z.of_int 65537
+
+let generate ?(bits = 512) rng =
+  if bits < 128 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.gen_prime rng ~bits:half in
+    let q = Prime.gen_prime rng ~bits:(bits - half) in
+    if Z.equal p q then go ()
+    else begin
+      let n = Z.mul p q in
+      let p1 = Z.pred p and q1 = Z.pred q in
+      let phi = Z.mul p1 q1 in
+      if Z.bit_length n <> bits || not (Z.equal (Z.gcd e_fixed phi) Z.one) then go ()
+      else begin
+        let d = Z.mod_inv e_fixed phi in
+        let k = (bits + 7) / 8 in
+        ( { n; p; q; dp = Z.erem d p1; dq = Z.erem d q1; qinv = Z.mod_inv q p; k },
+          { n; e = e_fixed; k } )
+      end
+    end
+  in
+  go ()
+
+(* EMSA-PKCS1-v1.5-style encoding of a SHA-256 digest into k bytes:
+   00 01 FF..FF 00 <digestinfo> <digest>. *)
+let der_sha256_prefix =
+  "\x30\x31\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x01\x05\x00\x04\x20"
+
+let encode_digest k digest =
+  let t = der_sha256_prefix ^ digest in
+  let tlen = String.length t in
+  if k < tlen + 11 then invalid_arg "Rsa: modulus too small for digest";
+  let b = Bytes.make k '\xff' in
+  Bytes.set b 0 '\x00';
+  Bytes.set b 1 '\x01';
+  Bytes.set b (k - tlen - 1) '\x00';
+  Bytes.blit_string t 0 b (k - tlen) tlen;
+  Bytes.unsafe_to_string b
+
+let sign (priv : priv) digest =
+  Aqv_util.Metrics.add_sign ();
+  let m = Z.of_bytes_be (encode_digest priv.k digest) in
+  (* CRT: m^d mod n from the two half-size exponentiations *)
+  let mp = Z.mod_pow ~base:m ~exp:priv.dp ~modulus:priv.p in
+  let mq = Z.mod_pow ~base:m ~exp:priv.dq ~modulus:priv.q in
+  let h = Z.erem (Z.mul priv.qinv (Z.sub mp mq)) priv.p in
+  let s = Z.add mq (Z.mul h priv.q) in
+  Z.to_bytes_be ~width:priv.k s
+
+let verify (pub : pub) digest signature =
+  Aqv_util.Metrics.add_verify ();
+  if String.length signature <> pub.k then false
+  else begin
+    let s = Z.of_bytes_be signature in
+    if Z.compare s pub.n >= 0 then false
+    else begin
+      let m = Z.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n in
+      String.equal (Z.to_bytes_be ~width:pub.k m) (encode_digest pub.k digest)
+    end
+  end
+
+let signature_size (pub : pub) = pub.k
+
+let encode_pub w (pub : pub) =
+  Aqv_util.Wire.bytes w (Z.to_bytes_be pub.n);
+  Aqv_util.Wire.bytes w (Z.to_bytes_be pub.e)
+
+let decode_pub r : pub =
+  let n = Z.of_bytes_be (Aqv_util.Wire.read_bytes r) in
+  let e = Z.of_bytes_be (Aqv_util.Wire.read_bytes r) in
+  if Z.compare n Z.two <= 0 || Z.compare e Z.two < 0 then failwith "Rsa.decode_pub";
+  { n; e; k = (Z.bit_length n + 7) / 8 }
+let pub_bits (pub : pub) = Z.bit_length pub.n

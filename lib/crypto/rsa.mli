@@ -1,0 +1,31 @@
+(** RSA signatures (PKCS#1 v1.5-style padding over SHA-256 digests).
+
+    Pure OCaml over {!Aqv_bigint.Bigint}; signing uses the CRT. The paper
+    evaluates both RSA and DSA as the data owner's signature algorithm
+    (Fig. 7c); key size is a parameter so that the signature-heavy
+    baseline stays tractable in simulation. *)
+
+type priv
+type pub
+
+val generate : ?bits:int -> Aqv_util.Prng.t -> priv * pub
+(** [generate ~bits rng] creates a key pair with a [bits]-bit modulus
+    (default 512). *)
+
+val sign : priv -> Sha256.digest -> string
+(** Signature bytes, always [bits/8] long. Counted in {!Aqv_util.Metrics}. *)
+
+val verify : pub -> Sha256.digest -> string -> bool
+(** Counted in {!Aqv_util.Metrics}. *)
+
+val signature_size : pub -> int
+(** Bytes per signature (modulus size). *)
+
+val pub_bits : pub -> int
+
+val encode_pub : Aqv_util.Wire.writer -> pub -> unit
+(** Wire form of the public key (modulus and exponent), so verifying
+    clients can receive it from the owner. *)
+
+val decode_pub : Aqv_util.Wire.reader -> pub
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,72 @@
+type algorithm = Rsa | Dsa
+
+let algorithm_name = function Rsa -> "RSA" | Dsa -> "DSA"
+
+type public = Rsa_public of Rsa.pub | Dsa_public of Dsa.pub | Unverifiable
+
+type keypair = {
+  algorithm : algorithm;
+  sign : Sha256.digest -> string;
+  verify : Sha256.digest -> string -> bool;
+  signature_size : int;
+  public : public;
+}
+
+let verifier = function
+  | Rsa_public pub -> Rsa.verify pub
+  | Dsa_public pub -> Dsa.verify pub
+  | Unverifiable -> fun _ _ -> false
+
+let encode_public w = function
+  | Rsa_public pub ->
+    Aqv_util.Wire.u8 w 0;
+    Rsa.encode_pub w pub
+  | Dsa_public pub ->
+    Aqv_util.Wire.u8 w 1;
+    Dsa.encode_pub w pub
+  | Unverifiable -> Aqv_util.Wire.u8 w 2
+
+let decode_public r =
+  match Aqv_util.Wire.read_u8 r with
+  | 0 -> Rsa_public (Rsa.decode_pub r)
+  | 1 -> Dsa_public (Dsa.decode_pub r)
+  | 2 -> Unverifiable
+  | _ -> failwith "Signer.decode_public: bad tag"
+
+let generate ?(bits = 512) algorithm rng =
+  match algorithm with
+  | Rsa ->
+    let priv, pub = Rsa.generate ~bits rng in
+    {
+      algorithm;
+      sign = Rsa.sign priv;
+      verify = Rsa.verify pub;
+      signature_size = Rsa.signature_size pub;
+      public = Rsa_public pub;
+    }
+  | Dsa ->
+    let dom = Dsa.gen_params ~lbits:bits ~nbits:160 rng in
+    let priv, pub = Dsa.generate dom rng in
+    {
+      algorithm;
+      sign = Dsa.sign priv;
+      verify = Dsa.verify pub;
+      signature_size = Dsa.signature_size pub;
+      public = Dsa_public pub;
+    }
+
+let counting_sign_dry_run ~signature_size =
+  let fake = String.make signature_size '\x00' in
+  {
+    algorithm = Rsa;
+    sign =
+      (fun _ ->
+        Aqv_util.Metrics.add_sign ();
+        fake);
+    verify =
+      (fun _ _ ->
+        Aqv_util.Metrics.add_verify ();
+        false);
+    signature_size;
+    public = Unverifiable;
+  }

@@ -1,0 +1,34 @@
+(** Utility-function templates.
+
+    The data owner publishes, next to the database, a template mapping
+    each record to a math function of the query variables
+    [X = (x_1 .. x_d)] (Fig. 1 of the paper: [Score = GPA*w1 + Award*w2
+    + Paper*w3]). Both the server and the verifying user apply the same
+    public template, so only records need to be authenticated. *)
+
+type t
+
+val linear_weights : dims:int -> t
+(** [f_r(X) = attr_1 * x_1 + ... + attr_dims * x_dims]: the paper's
+    running example. Records need at least [dims] attributes. *)
+
+val affine_1d : t
+(** [f_r(x) = attr_0 * x + attr_1]: univariate lines, the shape used in
+    the paper's illustrations (Fig. 2) and its simulation section. *)
+
+val weighted_subset : indices:int list -> t
+(** Like {!linear_weights} but scoring only the given attribute columns:
+    [f_r(X) = attr_{i_1} * x_1 + ... + attr_{i_k} * x_k]. *)
+
+val dim : t -> int
+(** Number of query variables [d]. *)
+
+val apply : t -> Record.t -> Aqv_num.Linfun.t
+(** Interpret a record as a function.
+    @raise Invalid_argument if the record has too few attributes. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val encode : Aqv_util.Wire.writer -> t -> unit
+val decode : Aqv_util.Wire.reader -> t

@@ -1,0 +1,91 @@
+module Q = Aqv_num.Rational
+module Prng = Aqv_util.Prng
+
+let distinct_vectors ~n ~gen =
+  let seen = Hashtbl.create n in
+  let rec fresh () =
+    let v = gen () in
+    if Hashtbl.mem seen v then fresh ()
+    else begin
+      Hashtbl.add seen v ();
+      v
+    end
+  in
+  List.init n (fun _ -> fresh ())
+
+let lines_1d ?(slope_range = 1000) ?(intercept_range = 1000) ~n rng =
+  if n < 1 then invalid_arg "Workload.lines_1d";
+  let gen () = (Prng.int_in rng (-slope_range) slope_range, Prng.int_in rng 0 intercept_range) in
+  let pairs = distinct_vectors ~n ~gen in
+  let records =
+    List.mapi
+      (fun i (a, b) ->
+        Record.make ~id:i ~attrs:[| Q.of_int a; Q.of_int b |]
+          ~payload:(Printf.sprintf "line-%d" i) ())
+      pairs
+  in
+  Table.make ~records ~template:Template.affine_1d
+    ~domain:(Aqv_num.Domain.of_ints [ (0, 1) ])
+
+let scored ?(attr_range = 100) ~n ~dims rng =
+  if n < 1 || dims < 1 then invalid_arg "Workload.scored";
+  let gen () = List.init dims (fun _ -> Prng.int_in rng 0 attr_range) in
+  let vectors = distinct_vectors ~n ~gen in
+  let records =
+    List.mapi
+      (fun i attrs ->
+        Record.make ~id:i
+          ~attrs:(Array.of_list (List.map Q.of_int attrs))
+          ~payload:(Printf.sprintf "rec-%d" i) ())
+      vectors
+  in
+  Table.make ~records
+    ~template:(Template.linear_weights ~dims)
+    ~domain:(Aqv_num.Domain.unit_box dims)
+
+let weight_denominator = 1009
+
+let weight_point table rng =
+  let dom = Table.domain table in
+  let d = Aqv_num.Domain.dim dom in
+  Array.init d (fun i ->
+      let lo = Aqv_num.Domain.lo dom i and hi = Aqv_num.Domain.hi dom i in
+      let t = Q.of_ints (Prng.int_in rng 1 (weight_denominator - 1)) weight_denominator in
+      (* lo + t * (hi - lo), strictly inside the box *)
+      Q.add lo (Q.mul t (Q.sub hi lo)))
+
+let scores_at table x =
+  let fns = Table.functions table in
+  let scored = Array.mapi (fun i f -> (i, Aqv_num.Linfun.eval f x)) fns in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      let c = Q.compare a b in
+      if c <> 0 then c else compare i j)
+    scored;
+  scored
+
+let range_for_result_size table ~x ~size =
+  let n = Table.size table in
+  if size < 1 || size > n then invalid_arg "Workload.range_for_result_size";
+  let sorted = scores_at table x in
+  (* centre the window in the score list *)
+  let start = (n - size) / 2 in
+  let lo_score = snd sorted.(start) in
+  let hi_score = snd sorted.(start + size - 1) in
+  let l =
+    if start = 0 then Q.sub lo_score Q.one
+    else begin
+      let prev = snd sorted.(start - 1) in
+      if Q.equal prev lo_score then lo_score (* tie: inclusive boundary *)
+      else Q.average prev lo_score
+    end
+  in
+  let u =
+    if start + size = n then Q.add hi_score Q.one
+    else begin
+      let next = snd sorted.(start + size) in
+      if Q.equal next hi_score then hi_score
+      else Q.average hi_score next
+    end
+  in
+  (l, u)

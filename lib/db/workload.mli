@@ -1,0 +1,39 @@
+(** Synthetic workload generation.
+
+    The paper's simulation uses randomly generated databases ranked by
+    linear functions (1,000–10,000 records, univariate linear ranking in
+    the plots) and random top-k / range / KNN queries. Everything here
+    is driven by an explicit {!Aqv_util.Prng.t} so experiments are
+    reproducible. *)
+
+val lines_1d :
+  ?slope_range:int -> ?intercept_range:int -> n:int -> Aqv_util.Prng.t -> Table.t
+(** [n] univariate lines [f(x) = a*x + b] with integer [a] in
+    [\[-slope_range, slope_range\]] (default 1000) and [b] in
+    [\[0, intercept_range\]] (default 1000), pairwise distinct
+    [(a, b)], over the domain [x in \[0, 1\]]. Uses the
+    {!Template.affine_1d} template. *)
+
+val scored :
+  ?attr_range:int -> n:int -> dims:int -> Aqv_util.Prng.t -> Table.t
+(** [n] records with [dims] integer attributes in [\[0, attr_range\]]
+    (default 100), scored by {!Template.linear_weights} over the unit
+    box — the paper's GPA/Award/Paper-style scenario. Attribute vectors
+    are pairwise distinct. *)
+
+val weight_point : Table.t -> Aqv_util.Prng.t -> Aqv_num.Rational.t array
+(** A random rational point in the table's domain (denominator 1009, a
+    prime, so the point almost never hits an intersection exactly). *)
+
+val scores_at : Table.t -> Aqv_num.Rational.t array -> (int * Aqv_num.Rational.t) array
+(** [(position, score)] for every record, sorted ascending by score with
+    record id as tie-break: the ground truth that tests and benches
+    compare against. *)
+
+val range_for_result_size :
+  Table.t -> x:Aqv_num.Rational.t array -> size:int -> Aqv_num.Rational.t * Aqv_num.Rational.t
+(** Query boundaries [(l, u)] such that the range query [l <= f(x) <= u]
+    returns exactly [size] records (the lowest-scoring [size] of them,
+    offset to the middle of the score list when possible). Used by the
+    server-cost and VO-size sweeps (Figs. 6d, 7, 8a).
+    @raise Invalid_argument if [size] exceeds the table size. *)

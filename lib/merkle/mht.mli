@@ -1,0 +1,65 @@
+(** Merkle hash trees over leaf digests (the paper's MH-tree / FMH-tree
+    building block).
+
+    The shape follows the paper's bottom-up construction: leaves are
+    paired left to right and an odd trailing node is promoted to the next
+    level — equivalently, an [n]-leaf tree splits into a left subtree
+    over the largest power of two strictly below [n] (or [n/2] when [n]
+    is itself a power of two) and a right subtree over the rest. The
+    shape is therefore a deterministic function of [n] alone, which lets
+    a verifier reconstruct roots from segments without trusting any
+    structural hints.
+
+    Trees are immutable and persistent: {!set} and {!swap_adjacent}
+    share all untouched nodes, so the owner can snapshot one FMH per
+    subdomain while paying only O(log n) per adjacent transposition —
+    the exact mutation that moving across a subdomain boundary induces.
+
+    Interior hashes are domain-separated from leaf digests
+    ([H("\x03" | left | right)]), preventing leaf/interior confusion. *)
+
+type t
+
+val of_digests : string array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val size : t -> int
+val root : t -> string
+val leaf : t -> int -> string
+(** @raise Invalid_argument if out of bounds. *)
+
+val leaves : t -> string array
+
+val set : t -> int -> string -> t
+(** Replace one leaf digest; O(log n) new nodes. *)
+
+val swap_adjacent : t -> int -> t
+(** [swap_adjacent t i] exchanges leaves [i] and [i+1]. *)
+
+(** {1 Proofs} *)
+
+type path_elem = { sibling : string; sibling_on_left : bool }
+
+val auth_path : t -> int -> path_elem list
+(** Leaf-to-root sibling chain for one leaf. Visited nodes are counted
+    in {!Aqv_util.Metrics} as FMH-node traversals. *)
+
+val root_of_path : leaf:string -> path:path_elem list -> string
+(** Recompute the root committed by an authentication path. *)
+
+val index_of_path : n:int -> path:path_elem list -> int option
+(** The leaf index a path proves, recovered from the sibling sides and
+    the deterministic shape of an [n]-leaf tree; [None] when the path
+    length is inconsistent with [n]. Together with {!root_of_path} this
+    makes single-leaf proofs positional — the basis of verifiable rank
+    and count queries. *)
+
+val range_proof : t -> lo:int -> hi:int -> string list
+(** Digests of the maximal subtrees {e outside} [\[lo, hi\]], in
+    left-to-right traversal order: together with the leaf digests of
+    the range they determine the root. *)
+
+val root_of_range : n:int -> lo:int -> leaves:string list -> proof:string list -> string option
+(** Recompute the root of an [n]-leaf tree from the leaf digests
+    [lo .. lo + length leaves - 1] plus a {!range_proof}. [None] if the
+    shapes are inconsistent (wrong counts). *)

@@ -1,0 +1,181 @@
+module Q = Rational
+
+type result = Optimal of Q.t * Q.t array | Infeasible | Unbounded
+
+exception Exit_infeasible
+
+(* Dense tableau:
+     t.(i).(j), i in [0,m), j in [0, ncols) where the last column is the
+     RHS. basis.(i) is the column basic in row i. An objective is kept
+     as a separate reduced-cost row [z] plus its value [zval]; pivoting
+     updates it like any other row. Bland's rule everywhere: smallest
+     eligible entering column, smallest basis leaving index on ties. *)
+
+let pivot tab z basis ~row ~col =
+  let ncols = Array.length tab.(0) in
+  let m = Array.length tab in
+  let p = tab.(row).(col) in
+  (* scale pivot row *)
+  for j = 0 to ncols - 1 do
+    tab.(row).(j) <- Q.div tab.(row).(j) p
+  done;
+  for i = 0 to m - 1 do
+    if i <> row && Q.sign tab.(i).(col) <> 0 then begin
+      let f = tab.(i).(col) in
+      for j = 0 to ncols - 1 do
+        tab.(i).(j) <- Q.sub tab.(i).(j) (Q.mul f tab.(row).(j))
+      done
+    end
+  done;
+  if Q.sign z.(col) <> 0 then begin
+    let f = z.(col) in
+    for j = 0 to ncols - 1 do
+      z.(j) <- Q.sub z.(j) (Q.mul f tab.(row).(j))
+    done
+  end;
+  basis.(row) <- col
+
+(* Run simplex iterations until no reduced cost is positive.
+   [allowed j] masks columns that may enter. Returns `Done or `Unbounded. *)
+let optimize tab z basis ~allowed =
+  let ncols = Array.length tab.(0) in
+  let m = Array.length tab in
+  let rhs = ncols - 1 in
+  let rec loop () =
+    (* entering column: smallest j with z_j > 0 *)
+    let enter = ref (-1) in
+    (try
+       for j = 0 to rhs - 1 do
+         if allowed j && Q.sign z.(j) > 0 then begin
+           enter := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Done
+    else begin
+      let col = !enter in
+      (* ratio test *)
+      let best_row = ref (-1) in
+      let best_ratio = ref Q.zero in
+      for i = 0 to m - 1 do
+        if Q.sign tab.(i).(col) > 0 then begin
+          let ratio = Q.div tab.(i).(rhs) tab.(i).(col) in
+          if
+            !best_row < 0
+            || Q.compare ratio !best_ratio < 0
+            || (Q.equal ratio !best_ratio && basis.(i) < basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot tab z basis ~row:!best_row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let maximize_exn ~obj ~rows =
+  let nvars = Array.length obj in
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  Array.iter
+    (fun (a, _) -> if Array.length a <> nvars then invalid_arg "Simplex.maximize: row arity")
+    rows;
+  (* which rows need an artificial (negative rhs after slack form) *)
+  let needs_art = Array.map (fun (_, b) -> Q.sign b < 0) rows in
+  let nart = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 needs_art in
+  let ncols = nvars + m + nart + 1 in
+  let rhs = ncols - 1 in
+  let tab = Array.make_matrix m ncols Q.zero in
+  let basis = Array.make m (-1) in
+  let art_index = ref 0 in
+  Array.iteri
+    (fun i (a, b) ->
+      let flip = needs_art.(i) in
+      let s = if flip then Q.minus_one else Q.one in
+      for j = 0 to nvars - 1 do
+        tab.(i).(j) <- Q.mul s a.(j)
+      done;
+      (* slack for row i *)
+      tab.(i).(nvars + i) <- s;
+      tab.(i).(rhs) <- Q.mul s b;
+      if flip then begin
+        let acol = nvars + m + !art_index in
+        incr art_index;
+        tab.(i).(acol) <- Q.one;
+        basis.(i) <- acol
+      end
+      else basis.(i) <- nvars + i)
+    rows;
+  let is_artificial j = j >= nvars + m && j < rhs in
+  (* ---------------- phase 1 ---------------- *)
+  if nart > 0 then begin
+    (* phase-1 reduced costs: maximize -(sum of artificials).
+       z_j = sum over artificial-basic rows of tab(i)(j); value = -sum rhs. *)
+    let z = Array.make ncols Q.zero in
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then
+        for j = 0 to ncols - 1 do
+          z.(j) <- Q.add z.(j) tab.(i).(j)
+        done
+    done;
+    (* artificial columns themselves must not re-enter with positive cost *)
+    for j = 0 to rhs - 1 do
+      if is_artificial j then z.(j) <- Q.zero
+    done;
+    (match optimize tab z basis ~allowed:(fun j -> not (is_artificial j)) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+    | `Done -> ());
+    if Q.sign z.(rhs) <> 0 then raise Exit_infeasible
+    else begin
+      (* drive remaining degenerate artificials out of the basis *)
+      for i = 0 to m - 1 do
+        if is_artificial basis.(i) then begin
+          let found = ref false in
+          let j = ref 0 in
+          while (not !found) && !j < nvars + m do
+            if Q.sign tab.(i).(!j) <> 0 then begin
+              pivot tab (Array.make ncols Q.zero) basis ~row:i ~col:!j;
+              found := true
+            end;
+            incr j
+          done
+          (* if no pivot exists the row is 0 = 0 and harmless *)
+        end
+      done
+    end
+  end;
+  (* ---------------- phase 2 ---------------- *)
+  let z = Array.make ncols Q.zero in
+  for j = 0 to nvars - 1 do
+    z.(j) <- obj.(j)
+  done;
+  (* express objective in terms of the current basis *)
+  for i = 0 to m - 1 do
+    let bj = basis.(i) in
+    if bj < nvars && Q.sign z.(bj) <> 0 then begin
+      let f = z.(bj) in
+      for j = 0 to ncols - 1 do
+        z.(j) <- Q.sub z.(j) (Q.mul f tab.(i).(j))
+      done
+    end
+  done;
+  match optimize tab z basis ~allowed:(fun j -> not (is_artificial j)) with
+  | `Unbounded -> Unbounded
+  | `Done ->
+    let x = Array.make nvars Q.zero in
+    for i = 0 to m - 1 do
+      if basis.(i) < nvars then x.(basis.(i)) <- tab.(i).(rhs)
+    done;
+    Optimal (Q.neg z.(rhs), x)
+
+let maximize ~obj ~rows =
+  match maximize_exn ~obj ~rows with
+  | result -> result
+  | exception Exit_infeasible -> Infeasible

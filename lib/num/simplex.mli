@@ -1,0 +1,21 @@
+(** Exact linear programming over rationals (dense two-phase simplex
+    with Bland's rule, hence guaranteed to terminate).
+
+    Used by {!Region} to answer strict-feasibility questions about
+    subdomains of hyperplane arrangements in dimension [d >= 2] — "does
+    this intersection split this cell?" — and to produce interior
+    witness points for sorting the ranking functions inside a cell. *)
+
+type result =
+  | Optimal of Rational.t * Rational.t array
+      (** objective value and an optimal assignment *)
+  | Infeasible
+  | Unbounded
+
+val maximize : obj:Rational.t array -> rows:(Rational.t array * Rational.t) list -> result
+(** [maximize ~obj ~rows] solves
+
+    {v max obj . x   s.t.  a_i . x <= b_i for each (a_i, b_i), x >= 0 v}
+
+    The [b_i] may be negative (phase 1 handles them). All [a_i] and
+    [obj] must have the same length. *)

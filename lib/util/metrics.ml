@@ -1,0 +1,73 @@
+type snapshot = {
+  hash_ops : int;
+  hash_bytes : int;
+  sign_ops : int;
+  verify_ops : int;
+  itree_nodes : int;
+  fmh_nodes : int;
+  mesh_cells : int;
+  bytes_out : int;
+}
+
+let hash_ops = ref 0
+let hash_bytes = ref 0
+let sign_ops = ref 0
+let verify_ops = ref 0
+let itree_nodes = ref 0
+let fmh_nodes = ref 0
+let mesh_cells = ref 0
+let bytes_out = ref 0
+
+let reset () =
+  hash_ops := 0;
+  hash_bytes := 0;
+  sign_ops := 0;
+  verify_ops := 0;
+  itree_nodes := 0;
+  fmh_nodes := 0;
+  mesh_cells := 0;
+  bytes_out := 0
+
+let snapshot () =
+  {
+    hash_ops = !hash_ops;
+    hash_bytes = !hash_bytes;
+    sign_ops = !sign_ops;
+    verify_ops = !verify_ops;
+    itree_nodes = !itree_nodes;
+    fmh_nodes = !fmh_nodes;
+    mesh_cells = !mesh_cells;
+    bytes_out = !bytes_out;
+  }
+
+let diff a b =
+  {
+    hash_ops = a.hash_ops - b.hash_ops;
+    hash_bytes = a.hash_bytes - b.hash_bytes;
+    sign_ops = a.sign_ops - b.sign_ops;
+    verify_ops = a.verify_ops - b.verify_ops;
+    itree_nodes = a.itree_nodes - b.itree_nodes;
+    fmh_nodes = a.fmh_nodes - b.fmh_nodes;
+    mesh_cells = a.mesh_cells - b.mesh_cells;
+    bytes_out = a.bytes_out - b.bytes_out;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>hash_ops=%d hash_bytes=%d@ sign_ops=%d verify_ops=%d@ \
+     itree_nodes=%d fmh_nodes=%d mesh_cells=%d@ bytes_out=%d@]"
+    s.hash_ops s.hash_bytes s.sign_ops s.verify_ops s.itree_nodes
+    s.fmh_nodes s.mesh_cells s.bytes_out
+
+let add_hash ~bytes_len =
+  incr hash_ops;
+  hash_bytes := !hash_bytes + bytes_len
+
+let add_sign () = incr sign_ops
+let add_verify () = incr verify_ops
+let add_itree_nodes n = itree_nodes := !itree_nodes + n
+let add_fmh_nodes n = fmh_nodes := !fmh_nodes + n
+let add_mesh_cells n = mesh_cells := !mesh_cells + n
+let add_bytes_out n = bytes_out := !bytes_out + n
+
+let total_node_visits s = s.itree_nodes + s.fmh_nodes + s.mesh_cells

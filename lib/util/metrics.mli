@@ -1,0 +1,42 @@
+(** Global cost counters.
+
+    The paper's simulation reports costs as operation counts (nodes or
+    cells traversed, hash operations, signature operations) as well as
+    wall-clock time. Library code increments these counters at the point
+    where the corresponding work happens; benchmarks snapshot them around
+    a measured region. Single-threaded by design. *)
+
+type snapshot = {
+  hash_ops : int;  (** one-way hash compressions requested *)
+  hash_bytes : int;  (** bytes fed to the hash function *)
+  sign_ops : int;  (** private-key signature creations *)
+  verify_ops : int;  (** public-key signature verifications *)
+  itree_nodes : int;  (** IMH-tree nodes visited *)
+  fmh_nodes : int;  (** FMH-tree nodes visited *)
+  mesh_cells : int;  (** signature-mesh cells scanned *)
+  bytes_out : int;  (** serialized bytes produced (VO / index) *)
+}
+
+val reset : unit -> unit
+(** Zero every counter. *)
+
+val snapshot : unit -> snapshot
+(** Current counter values. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+(** Incrementors, called by library code. *)
+
+val add_hash : bytes_len:int -> unit
+val add_sign : unit -> unit
+val add_verify : unit -> unit
+val add_itree_nodes : int -> unit
+val add_fmh_nodes : int -> unit
+val add_mesh_cells : int -> unit
+val add_bytes_out : int -> unit
+
+val total_node_visits : snapshot -> int
+(** [itree_nodes + fmh_nodes + mesh_cells]: the paper's "server cost". *)

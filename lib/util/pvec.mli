@@ -1,0 +1,22 @@
+(** Persistent vectors (balanced binary tree, path copying).
+
+    O(log n) [get]/[set], O(n) construction. Used to snapshot one sorted
+    function list per subdomain: adjacent subdomains differ by one
+    transposition, so each snapshot shares all but O(log n) nodes with
+    its neighbour. *)
+
+type 'a t
+
+val of_array : 'a array -> 'a t
+(** @raise Invalid_argument on an empty array. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> 'a t
+val swap_adjacent : 'a t -> int -> 'a t
+(** Exchange elements [i] and [i+1]. *)
+
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list

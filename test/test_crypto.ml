@@ -1,0 +1,315 @@
+(* Tests for the cryptographic substrate: SHA-256 against FIPS/NIST
+   vectors, HMAC against RFC 4231 vectors, Miller-Rabin against known
+   primes/composites, RSA and DSA round trips and tamper rejection. *)
+
+module Z = Aqv_bigint.Bigint
+module Prng = Aqv_util.Prng
+open Aqv_crypto
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------ SHA-256 ----------------------------- *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "The quick brown fox jumps over the lazy dog",
+      "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, expect) -> check Alcotest.string msg expect (Sha256.hex (Sha256.digest msg)))
+    sha_vectors
+
+let test_sha256_million_a () =
+  let ctx = Sha256.init () in
+  for _ = 1 to 10_000 do
+    Sha256.feed ctx (String.make 100 'a')
+  done;
+  check Alcotest.string "1M a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.finalize ctx))
+
+let test_sha256_streaming_agrees () =
+  (* all split points across two block boundaries *)
+  let msg = String.init 150 (fun i -> Char.chr (i land 0xff)) in
+  let whole = Sha256.digest msg in
+  for cut = 0 to 150 do
+    let ctx = Sha256.init () in
+    Sha256.feed ctx (String.sub msg 0 cut);
+    Sha256.feed ctx (String.sub msg cut (150 - cut));
+    if not (String.equal (Sha256.finalize ctx) whole) then
+      Alcotest.failf "split at %d disagrees" cut
+  done
+
+let test_sha256_digest_list () =
+  check Alcotest.string "digest_list = digest of concat"
+    (Sha256.hex (Sha256.digest "foobarbaz"))
+    (Sha256.hex (Sha256.digest_list [ "foo"; "bar"; "baz" ]))
+
+let test_sha256_counts_metrics () =
+  Aqv_util.Metrics.reset ();
+  ignore (Sha256.digest "hello");
+  let s = Aqv_util.Metrics.snapshot () in
+  check Alcotest.int "one hash op" 1 s.hash_ops;
+  check Alcotest.int "bytes" 5 s.hash_bytes
+
+let test_sha256_finalize_twice () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "second finalize"
+    (Invalid_argument "Sha256.finalize: already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let sha_padding_lengths =
+  (* exercise every padding branch: lengths around 55/56/63/64 *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"length-extension padding"
+       QCheck.(int_bound 200)
+       (fun n ->
+         let msg = String.make n 'x' in
+         let d1 = Sha256.digest msg in
+         let ctx = Sha256.init () in
+         String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) msg;
+         String.equal d1 (Sha256.finalize ctx)))
+
+(* ------------------------------- HMAC ------------------------------ *)
+
+let test_hmac_rfc4231 () =
+  let t1 = Hmac.mac ~key:(String.make 20 '\x0b') "Hi There" in
+  check Alcotest.string "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Aqv_util.Hex.encode t1);
+  let t2 = Hmac.mac ~key:"Jefe" "what do ya want for nothing?" in
+  check Alcotest.string "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Aqv_util.Hex.encode t2)
+
+let test_hmac_long_key () =
+  (* keys longer than the block size are hashed first; just check
+     determinism and key sensitivity *)
+  let key = String.make 100 'k' in
+  let a = Hmac.mac ~key "msg" and b = Hmac.mac ~key "msg" in
+  check Alcotest.string "deterministic" (Aqv_util.Hex.encode a) (Aqv_util.Hex.encode b);
+  let c = Hmac.mac ~key:(String.make 100 'j') "msg" in
+  check Alcotest.bool "key sensitive" true (a <> c)
+
+(* ------------------------------ primes ----------------------------- *)
+
+let test_small_primality () =
+  let rng = Prng.create 1L in
+  let primes = [ 2; 3; 5; 7; 97; 65537; 1000000007 ] in
+  let composites = [ 0; 1; 4; 9; 561 (* Carmichael *); 65536; 1000000008; 341550071728321 ] in
+  List.iter
+    (fun p ->
+      if not (Prime.is_prime rng (Z.of_int p)) then Alcotest.failf "%d should be prime" p)
+    primes;
+  List.iter
+    (fun c ->
+      if Prime.is_prime rng (Z.of_int c) then Alcotest.failf "%d should be composite" c)
+    composites
+
+let test_big_primality () =
+  let rng = Prng.create 2L in
+  let m127 = Z.of_string "170141183460469231731687303715884105727" in
+  check Alcotest.bool "2^127-1 prime" true (Prime.is_prime rng m127);
+  check Alcotest.bool "2^127-3 composite" false (Prime.is_prime rng (Z.sub m127 Z.two));
+  (* RSA-100 challenge modulus: a known semiprime *)
+  let rsa100 =
+    Z.of_string
+      "1522605027922533360535618378132637429718068114961380688657908494580122963258952897654000350692006139"
+  in
+  check Alcotest.bool "RSA-100 composite" false (Prime.is_prime rng rsa100)
+
+let test_gen_prime () =
+  let rng = Prng.create 3L in
+  List.iter
+    (fun bits ->
+      let p = Prime.gen_prime rng ~bits in
+      check Alcotest.int (Printf.sprintf "%d-bit" bits) bits (Z.bit_length p);
+      check Alcotest.bool "is prime" true (Prime.is_prime rng p))
+    [ 8; 16; 32; 64; 128 ]
+
+let test_gen_congruent_prime () =
+  let rng = Prng.create 4L in
+  let q = Prime.gen_prime rng ~bits:40 in
+  let p = Prime.gen_safe_candidate rng ~bits:96 ~residue:Z.one ~modulus:q in
+  check Alcotest.bool "p prime" true (Prime.is_prime rng p);
+  check Alcotest.bool "p = 1 mod q" true (Z.equal (Z.erem p q) Z.one);
+  check Alcotest.int "p bits" 96 (Z.bit_length p)
+
+(* ------------------------------- RSA -------------------------------- *)
+
+let rsa_keys = lazy (Rsa.generate ~bits:512 (Prng.create 100L))
+
+let test_rsa_roundtrip () =
+  let priv, pub = Lazy.force rsa_keys in
+  let d = Sha256.digest "a message" in
+  let s = Rsa.sign priv d in
+  check Alcotest.int "signature size" 64 (String.length s);
+  check Alcotest.bool "verifies" true (Rsa.verify pub d s);
+  check Alcotest.int "pub bits" 512 (Rsa.pub_bits pub)
+
+let test_rsa_rejects_wrong_digest () =
+  let priv, pub = Lazy.force rsa_keys in
+  let s = Rsa.sign priv (Sha256.digest "a message") in
+  check Alcotest.bool "wrong digest" false (Rsa.verify pub (Sha256.digest "b message") s)
+
+let test_rsa_rejects_bitflip () =
+  let priv, pub = Lazy.force rsa_keys in
+  let d = Sha256.digest "a message" in
+  let s = Bytes.of_string (Rsa.sign priv d) in
+  Bytes.set s 10 (Char.chr (Char.code (Bytes.get s 10) lxor 1));
+  check Alcotest.bool "flipped bit" false (Rsa.verify pub d (Bytes.to_string s))
+
+let test_rsa_rejects_bad_length () =
+  let _, pub = Lazy.force rsa_keys in
+  check Alcotest.bool "short sig" false (Rsa.verify pub (Sha256.digest "m") "short")
+
+let test_rsa_cross_key () =
+  let priv, _ = Lazy.force rsa_keys in
+  let _, pub2 = Rsa.generate ~bits:512 (Prng.create 101L) in
+  let d = Sha256.digest "a message" in
+  check Alcotest.bool "other key" false (Rsa.verify pub2 d (Rsa.sign priv d))
+
+let rsa_sign_verify_many =
+  qtest ~count:30 "rsa roundtrip (random messages)" QCheck.string (fun m ->
+      let priv, pub = Lazy.force rsa_keys in
+      let d = Sha256.digest m in
+      Rsa.verify pub d (Rsa.sign priv d))
+
+(* ------------------------------- DSA -------------------------------- *)
+
+let dsa_ctx =
+  lazy
+    (let rng = Prng.create 200L in
+     let dom = Dsa.gen_params ~lbits:512 ~nbits:160 rng in
+     Dsa.generate dom rng)
+
+let test_dsa_roundtrip () =
+  let priv, pub = Lazy.force dsa_ctx in
+  let d = Sha256.digest "a message" in
+  let s = Dsa.sign priv d in
+  check Alcotest.bool "verifies" true (Dsa.verify pub d s);
+  check Alcotest.bool "size small" true (String.length s <= Dsa.signature_size pub)
+
+let test_dsa_deterministic () =
+  let priv, _ = Lazy.force dsa_ctx in
+  let d = Sha256.digest "a message" in
+  check Alcotest.string "same signature" (Dsa.sign priv d) (Dsa.sign priv d)
+
+let test_dsa_rejects_wrong_digest () =
+  let priv, pub = Lazy.force dsa_ctx in
+  let s = Dsa.sign priv (Sha256.digest "a") in
+  check Alcotest.bool "wrong digest" false (Dsa.verify pub (Sha256.digest "b") s)
+
+let test_dsa_rejects_bitflip () =
+  let priv, pub = Lazy.force dsa_ctx in
+  let d = Sha256.digest "a message" in
+  let s = Bytes.of_string (Dsa.sign priv d) in
+  Bytes.set s 5 (Char.chr (Char.code (Bytes.get s 5) lxor 4));
+  check Alcotest.bool "flipped bit" false (Dsa.verify pub d (Bytes.to_string s))
+
+let test_dsa_rejects_garbage () =
+  let _, pub = Lazy.force dsa_ctx in
+  check Alcotest.bool "garbage" false (Dsa.verify pub (Sha256.digest "m") "nonsense")
+
+let dsa_sign_verify_many =
+  qtest ~count:20 "dsa roundtrip (random messages)" QCheck.string (fun m ->
+      let priv, pub = Lazy.force dsa_ctx in
+      let d = Sha256.digest m in
+      Dsa.verify pub d (Dsa.sign priv d))
+
+(* ------------------------------ Signer ------------------------------ *)
+
+let test_signer_both_algorithms () =
+  let rng = Prng.create 300L in
+  List.iter
+    (fun alg ->
+      let kp = Signer.generate ~bits:512 alg rng in
+      let d = Sha256.digest "payload" in
+      let s = kp.Signer.sign d in
+      check Alcotest.bool (Signer.algorithm_name alg) true (kp.Signer.verify d s);
+      check Alcotest.bool "tamper" false (kp.Signer.verify (Sha256.digest "other") s))
+    [ Signer.Rsa; Signer.Dsa ]
+
+let test_signer_metrics () =
+  Aqv_util.Metrics.reset ();
+  let rng = Prng.create 301L in
+  let kp = Signer.generate ~bits:512 Signer.Rsa rng in
+  let d = Sha256.digest "x" in
+  let before = Aqv_util.Metrics.snapshot () in
+  let s = kp.Signer.sign d in
+  ignore (kp.Signer.verify d s);
+  let after = Aqv_util.Metrics.snapshot () in
+  let delta = Aqv_util.Metrics.diff after before in
+  check Alcotest.int "one sign" 1 delta.sign_ops;
+  check Alcotest.int "one verify" 1 delta.verify_ops
+
+let test_signer_dry_run () =
+  Aqv_util.Metrics.reset ();
+  let kp = Signer.counting_sign_dry_run ~signature_size:64 in
+  let d = Sha256.digest "x" in
+  let s = kp.Signer.sign d in
+  check Alcotest.int "size" 64 (String.length s);
+  check Alcotest.bool "never verifies" false (kp.Signer.verify d s);
+  let snap = Aqv_util.Metrics.snapshot () in
+  check Alcotest.int "counted" 1 snap.sign_ops
+
+let () =
+  Alcotest.run "aqv_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "one million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "streaming splits" `Quick test_sha256_streaming_agrees;
+          Alcotest.test_case "digest_list" `Quick test_sha256_digest_list;
+          Alcotest.test_case "metrics counted" `Quick test_sha256_counts_metrics;
+          Alcotest.test_case "finalize twice" `Quick test_sha256_finalize_twice;
+          sha_padding_lengths;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+        ] );
+      ( "prime",
+        [
+          Alcotest.test_case "small numbers" `Quick test_small_primality;
+          Alcotest.test_case "big numbers" `Quick test_big_primality;
+          Alcotest.test_case "generation" `Quick test_gen_prime;
+          Alcotest.test_case "congruent generation" `Quick test_gen_congruent_prime;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip;
+          Alcotest.test_case "wrong digest" `Quick test_rsa_rejects_wrong_digest;
+          Alcotest.test_case "bitflip" `Quick test_rsa_rejects_bitflip;
+          Alcotest.test_case "bad length" `Quick test_rsa_rejects_bad_length;
+          Alcotest.test_case "cross key" `Quick test_rsa_cross_key;
+          rsa_sign_verify_many;
+        ] );
+      ( "dsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dsa_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_dsa_deterministic;
+          Alcotest.test_case "wrong digest" `Quick test_dsa_rejects_wrong_digest;
+          Alcotest.test_case "bitflip" `Quick test_dsa_rejects_bitflip;
+          Alcotest.test_case "garbage" `Quick test_dsa_rejects_garbage;
+          dsa_sign_verify_many;
+        ] );
+      ( "signer",
+        [
+          Alcotest.test_case "both algorithms" `Quick test_signer_both_algorithms;
+          Alcotest.test_case "metrics" `Quick test_signer_metrics;
+          Alcotest.test_case "dry run" `Quick test_signer_dry_run;
+        ] );
+    ]

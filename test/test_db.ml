@@ -1,0 +1,217 @@
+(* Tests for the database substrate: record commitments, template
+   interpretation (record -> function), table validation, and workload
+   generator guarantees. *)
+
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Prng = Aqv_util.Prng
+open Aqv_db
+
+let check = Alcotest.check
+let qt = Alcotest.testable Q.pp Q.equal
+
+let mk_record id attrs = Record.make ~id ~attrs:(Array.map Q.of_int (Array.of_list attrs)) ()
+
+(* ------------------------------ record ------------------------------ *)
+
+let test_record_roundtrip () =
+  let r = Record.make ~id:7 ~attrs:[| Q.of_ints 1 3; Q.of_int (-2) |] ~payload:"alice" () in
+  let w = Aqv_util.Wire.writer () in
+  Record.encode w r;
+  let r' = Record.decode (Aqv_util.Wire.reader (Aqv_util.Wire.contents w)) in
+  check Alcotest.bool "equal" true (Record.equal r r');
+  check Alcotest.int "id" 7 (Record.id r');
+  check Alcotest.string "payload" "alice" (Record.payload r')
+
+let test_record_digest_sensitivity () =
+  let base = mk_record 1 [ 1; 2 ] in
+  let others =
+    [
+      mk_record 2 [ 1; 2 ];
+      mk_record 1 [ 1; 3 ];
+      mk_record 1 [ 1; 2; 0 ];
+      Record.make ~id:1 ~attrs:[| Q.of_int 1; Q.of_int 2 |] ~payload:"x" ();
+    ]
+  in
+  List.iter
+    (fun o ->
+      if String.equal (Record.digest base) (Record.digest o) then
+        Alcotest.fail "digest collision between distinct records")
+    others;
+  check Alcotest.string "deterministic" (Record.digest base) (Record.digest base)
+
+let test_sentinel_digests_distinct () =
+  check Alcotest.bool "min <> max" true
+    (not (String.equal Record.min_sentinel_digest Record.max_sentinel_digest));
+  let r = mk_record 0 [ 0 ] in
+  check Alcotest.bool "record <> sentinels" true
+    (not (String.equal (Record.digest r) Record.min_sentinel_digest)
+    && not (String.equal (Record.digest r) Record.max_sentinel_digest))
+
+(* ----------------------------- template ----------------------------- *)
+
+let test_template_linear_weights () =
+  let t = Template.linear_weights ~dims:3 in
+  let r = mk_record 1 [ 4; 2; 1 ] in
+  let f = Template.apply t r in
+  check Alcotest.int "dim" 3 (Linfun.dim f);
+  check qt "f(1,1,1)" (Q.of_int 7) (Linfun.eval f (Array.make 3 Q.one));
+  check qt "const" Q.zero (Linfun.const f)
+
+let test_template_affine () =
+  let r = mk_record 1 [ 3; -5 ] in
+  let f = Template.apply Template.affine_1d r in
+  check qt "f(2) = 3*2 - 5" (Q.of_int 1) (Linfun.eval f [| Q.of_int 2 |])
+
+let test_template_subset () =
+  let t = Template.weighted_subset ~indices:[ 2; 0 ] in
+  let r = mk_record 1 [ 10; 20; 30 ] in
+  let f = Template.apply t r in
+  (* f(x1, x2) = attr2 * x1 + attr0 * x2 = 30 x1 + 10 x2 *)
+  check qt "f(1,0)" (Q.of_int 30) (Linfun.eval f [| Q.one; Q.zero |]);
+  check qt "f(0,1)" (Q.of_int 10) (Linfun.eval f [| Q.zero; Q.one |])
+
+let test_template_arity_error () =
+  let t = Template.linear_weights ~dims:3 in
+  Alcotest.check_raises "too short" (Invalid_argument "Template.apply: record arity")
+    (fun () -> ignore (Template.apply t (mk_record 1 [ 1; 2 ])))
+
+let test_template_roundtrip () =
+  List.iter
+    (fun t ->
+      let w = Aqv_util.Wire.writer () in
+      Template.encode w t;
+      let t' = Template.decode (Aqv_util.Wire.reader (Aqv_util.Wire.contents w)) in
+      check Alcotest.string "name survives" (Template.name t) (Template.name t'))
+    [ Template.linear_weights ~dims:4; Template.affine_1d; Template.weighted_subset ~indices:[ 1; 3 ] ]
+
+(* ------------------------------ table ------------------------------- *)
+
+let test_table_basics () =
+  let records = [ mk_record 0 [ 1; 2 ]; mk_record 1 [ 3; 4 ] ] in
+  let t =
+    Table.make ~records ~template:Template.affine_1d ~domain:(Aqv_num.Domain.of_ints [ (0, 1) ])
+  in
+  check Alcotest.int "size" 2 (Table.size t);
+  check Alcotest.int "dim" 1 (Table.dim t);
+  check Alcotest.bool "find_by_id" true (Table.find_by_id t 1 <> None);
+  check Alcotest.bool "missing id" true (Table.find_by_id t 5 = None);
+  let fns = Table.functions t in
+  check qt "f0(1) = 3" (Q.of_int 3) (Linfun.eval fns.(0) [| Q.one |])
+
+let test_table_duplicate_id () =
+  Alcotest.check_raises "dup id" (Invalid_argument "Table.make: duplicate record id")
+    (fun () ->
+      ignore
+        (Table.make
+           ~records:[ mk_record 0 [ 1; 2 ]; mk_record 0 [ 3; 4 ] ]
+           ~template:Template.affine_1d
+           ~domain:(Aqv_num.Domain.of_ints [ (0, 1) ])))
+
+let test_table_dim_mismatch () =
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Table.make: template/domain dimension mismatch") (fun () ->
+      ignore
+        (Table.make ~records:[ mk_record 0 [ 1; 2 ] ] ~template:Template.affine_1d
+           ~domain:(Aqv_num.Domain.of_ints [ (0, 1); (0, 1) ])))
+
+(* ----------------------------- workload ----------------------------- *)
+
+let test_lines_distinct () =
+  let t = Workload.lines_1d ~n:200 (Prng.create 1L) in
+  check Alcotest.int "n" 200 (Table.size t);
+  let seen = Hashtbl.create 200 in
+  Array.iter
+    (fun r ->
+      let key = (Q.to_string (Record.attr r 0), Q.to_string (Record.attr r 1)) in
+      if Hashtbl.mem seen key then Alcotest.fail "duplicate line";
+      Hashtbl.add seen key ())
+    (Table.records t)
+
+let test_lines_deterministic () =
+  let a = Workload.lines_1d ~n:50 (Prng.create 9L) in
+  let b = Workload.lines_1d ~n:50 (Prng.create 9L) in
+  Array.iter2
+    (fun x y -> if not (Record.equal x y) then Alcotest.fail "not reproducible")
+    (Table.records a) (Table.records b)
+
+let test_scored_shape () =
+  let t = Workload.scored ~n:100 ~dims:3 (Prng.create 2L) in
+  check Alcotest.int "n" 100 (Table.size t);
+  check Alcotest.int "dim" 3 (Table.dim t);
+  Array.iter
+    (fun r ->
+      for i = 0 to 2 do
+        if Q.sign (Record.attr r i) < 0 then Alcotest.fail "negative attribute"
+      done)
+    (Table.records t)
+
+let test_weight_point_in_domain () =
+  let t = Workload.scored ~n:10 ~dims:2 (Prng.create 3L) in
+  let rng = Prng.create 4L in
+  for _ = 1 to 100 do
+    let x = Workload.weight_point t rng in
+    if not (Aqv_num.Domain.contains (Table.domain t) x) then Alcotest.fail "outside domain"
+  done
+
+let test_scores_sorted () =
+  let t = Workload.lines_1d ~n:100 (Prng.create 5L) in
+  let rng = Prng.create 6L in
+  let x = Workload.weight_point t rng in
+  let s = Workload.scores_at t x in
+  for i = 0 to Array.length s - 2 do
+    if Q.compare (snd s.(i)) (snd s.(i + 1)) > 0 then Alcotest.fail "not sorted"
+  done;
+  check Alcotest.int "all there" 100 (Array.length s)
+
+let test_range_for_result_size () =
+  let t = Workload.lines_1d ~n:60 (Prng.create 7L) in
+  let rng = Prng.create 8L in
+  let x = Workload.weight_point t rng in
+  List.iter
+    (fun size ->
+      let l, u = Workload.range_for_result_size t ~x ~size in
+      let fns = Table.functions t in
+      let count =
+        Array.fold_left
+          (fun acc f ->
+            let v = Linfun.eval f x in
+            if Q.compare l v <= 0 && Q.compare v u <= 0 then acc + 1 else acc)
+          0 fns
+      in
+      check Alcotest.int (Printf.sprintf "size %d" size) size count)
+    [ 1; 3; 10; 59; 60 ]
+
+let () =
+  Alcotest.run "aqv_db"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "digest sensitivity" `Quick test_record_digest_sensitivity;
+          Alcotest.test_case "sentinels distinct" `Quick test_sentinel_digests_distinct;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "linear weights" `Quick test_template_linear_weights;
+          Alcotest.test_case "affine 1d" `Quick test_template_affine;
+          Alcotest.test_case "weighted subset" `Quick test_template_subset;
+          Alcotest.test_case "arity error" `Quick test_template_arity_error;
+          Alcotest.test_case "wire roundtrip" `Quick test_template_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "duplicate id" `Quick test_table_duplicate_id;
+          Alcotest.test_case "dimension mismatch" `Quick test_table_dim_mismatch;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "lines distinct" `Quick test_lines_distinct;
+          Alcotest.test_case "lines deterministic" `Quick test_lines_deterministic;
+          Alcotest.test_case "scored shape" `Quick test_scored_shape;
+          Alcotest.test_case "weight point in domain" `Quick test_weight_point_in_domain;
+          Alcotest.test_case "scores sorted" `Quick test_scores_sorted;
+          Alcotest.test_case "range for result size" `Quick test_range_for_result_size;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Tests for the persistent Merkle tree: shape determinism, proofs,
+   persistence of set/swap, and range-proof reconstruction, all
+   cross-checked against a naive reference implementation. *)
+
+module Mht = Aqv_merkle.Mht
+module Sha256 = Aqv_crypto.Sha256
+
+let check = Alcotest.check
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let d i = Sha256.digest (Printf.sprintf "leaf-%d" i)
+let mk n = Mht.of_digests (Array.init n d)
+
+(* Naive reference: recompute the root from a full leaf array using the
+   same split rule (largest power of two below n). *)
+let reference_root leaves =
+  let rec split_point n =
+    let rec go p = if p * 2 < n then go (p * 2) else p in
+    go 1
+  and build lo n =
+    if n = 1 then leaves.(lo)
+    else begin
+      let p = split_point n in
+      Sha256.digest_list [ "\x03"; build lo p; build (lo + p) (n - p) ]
+    end
+  in
+  build 0 (Array.length leaves)
+
+let test_matches_reference () =
+  for n = 1 to 40 do
+    let leaves = Array.init n d in
+    let t = Mht.of_digests leaves in
+    if not (String.equal (Mht.root t) (reference_root leaves)) then
+      Alcotest.failf "root mismatch at n=%d" n
+  done
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mht.of_digests: empty") (fun () ->
+      ignore (Mht.of_digests [||]))
+
+let test_leaves_roundtrip () =
+  let leaves = Array.init 13 d in
+  let t = Mht.of_digests leaves in
+  check Alcotest.(array string) "leaves" leaves (Mht.leaves t);
+  for i = 0 to 12 do
+    check Alcotest.string "leaf i" leaves.(i) (Mht.leaf t i)
+  done
+
+let test_set_persistent () =
+  let t = mk 10 in
+  let t' = Mht.set t 4 (d 99) in
+  check Alcotest.string "old unchanged" (d 4) (Mht.leaf t 4);
+  check Alcotest.string "new changed" (d 99) (Mht.leaf t' 4);
+  check Alcotest.bool "roots differ" false (String.equal (Mht.root t) (Mht.root t'));
+  (* the new root equals a fresh build of the same leaves *)
+  let fresh = Array.init 10 d in
+  fresh.(4) <- d 99;
+  check Alcotest.string "matches rebuild" (reference_root fresh) (Mht.root t')
+
+let test_swap_adjacent () =
+  for n = 2 to 20 do
+    let t = mk n in
+    for i = 0 to n - 2 do
+      let t' = Mht.swap_adjacent t i in
+      let fresh = Array.init n d in
+      let tmp = fresh.(i) in
+      fresh.(i) <- fresh.(i + 1);
+      fresh.(i + 1) <- tmp;
+      if not (String.equal (Mht.root t') (reference_root fresh)) then
+        Alcotest.failf "swap mismatch n=%d i=%d" n i
+    done
+  done
+
+let test_auth_path_all_positions () =
+  for n = 1 to 33 do
+    let t = mk n in
+    for i = 0 to n - 1 do
+      let path = Mht.auth_path t i in
+      let r = Mht.root_of_path ~leaf:(Mht.leaf t i) ~path in
+      if not (String.equal r (Mht.root t)) then Alcotest.failf "path fails n=%d i=%d" n i
+    done
+  done
+
+let test_auth_path_rejects_wrong_leaf () =
+  let t = mk 16 in
+  let path = Mht.auth_path t 5 in
+  let r = Mht.root_of_path ~leaf:(d 6) ~path in
+  check Alcotest.bool "detects wrong leaf" false (String.equal r (Mht.root t))
+
+let test_range_proof_all_ranges () =
+  for n = 1 to 24 do
+    let t = mk n in
+    for lo = 0 to n - 1 do
+      for hi = lo to n - 1 do
+        let proof = Mht.range_proof t ~lo ~hi in
+        let leaves = List.init (hi - lo + 1) (fun k -> Mht.leaf t (lo + k)) in
+        match Mht.root_of_range ~n ~lo ~leaves ~proof with
+        | Some r when String.equal r (Mht.root t) -> ()
+        | Some _ -> Alcotest.failf "range root mismatch n=%d [%d,%d]" n lo hi
+        | None -> Alcotest.failf "range shape rejected n=%d [%d,%d]" n lo hi
+      done
+    done
+  done
+
+let test_range_proof_detects_tamper () =
+  let t = mk 16 in
+  let proof = Mht.range_proof t ~lo:4 ~hi:9 in
+  (* replace one in-range leaf *)
+  let leaves = List.init 6 (fun k -> if k = 2 then d 77 else Mht.leaf t (4 + k)) in
+  (match Mht.root_of_range ~n:16 ~lo:4 ~leaves ~proof with
+  | Some r -> check Alcotest.bool "root differs" false (String.equal r (Mht.root t))
+  | None -> ());
+  (* drop a leaf: shape becomes inconsistent or root changes *)
+  let dropped = List.init 5 (fun k -> Mht.leaf t (4 + k)) in
+  match Mht.root_of_range ~n:16 ~lo:4 ~leaves:dropped ~proof with
+  | Some r -> check Alcotest.bool "dropped leaf detected" false (String.equal r (Mht.root t))
+  | None -> ()
+
+let test_range_proof_wrong_n () =
+  let t = mk 16 in
+  let proof = Mht.range_proof t ~lo:4 ~hi:9 in
+  let leaves = List.init 6 (fun k -> Mht.leaf t (4 + k)) in
+  match Mht.root_of_range ~n:17 ~lo:4 ~leaves ~proof with
+  | Some r -> check Alcotest.bool "wrong n detected" false (String.equal r (Mht.root t))
+  | None -> ()
+
+let test_index_of_path () =
+  for n = 1 to 40 do
+    let t = mk n in
+    for i = 0 to n - 1 do
+      match Mht.index_of_path ~n ~path:(Mht.auth_path t i) with
+      | Some j when j = i -> ()
+      | Some j -> Alcotest.failf "n=%d: path of %d decodes to %d" n i j
+      | None -> Alcotest.failf "n=%d i=%d: inconsistent shape" n i
+    done
+  done
+
+let test_index_of_path_wrong_n () =
+  let t = mk 16 in
+  let path = Mht.auth_path t 5 in
+  (* a 16-leaf path is too short/long for most other sizes *)
+  check Alcotest.bool "rejects bad n" true (Mht.index_of_path ~n:3 ~path = None)
+
+let prop_set_then_leaves =
+  qtest "set agrees with leaves array"
+    QCheck.(pair (int_range 1 50) (pair (int_bound 49) small_nat))
+    (fun (n, (i, v)) ->
+      let i = i mod n in
+      let t = Mht.set (mk n) i (d (1000 + v)) in
+      let expect = Array.init n d in
+      expect.(i) <- d (1000 + v);
+      Mht.leaves t = expect)
+
+let prop_range_proof_size_logarithmic =
+  qtest ~count:100 "range proof size is O(log n)"
+    QCheck.(pair (int_range 2 512) (int_bound 511))
+    (fun (n, lo) ->
+      let lo = lo mod n in
+      let t = mk n in
+      let proof = Mht.range_proof t ~lo ~hi:lo in
+      (* a single-leaf range proof is at most ~2 log2 n digests *)
+      let bound = 2 * (1 + int_of_float (Float.log2 (float_of_int n))) in
+      List.length proof <= bound)
+
+let () =
+  Alcotest.run "aqv_merkle"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "matches reference" `Quick test_matches_reference;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "leaves roundtrip" `Quick test_leaves_roundtrip;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "set persistent" `Quick test_set_persistent;
+          Alcotest.test_case "swap adjacent (all n, i)" `Quick test_swap_adjacent;
+          prop_set_then_leaves;
+        ] );
+      ( "proofs",
+        [
+          Alcotest.test_case "auth path (all n, i)" `Quick test_auth_path_all_positions;
+          Alcotest.test_case "wrong leaf rejected" `Quick test_auth_path_rejects_wrong_leaf;
+          Alcotest.test_case "range proofs (exhaustive small)" `Quick test_range_proof_all_ranges;
+          Alcotest.test_case "range tamper detected" `Quick test_range_proof_detects_tamper;
+          Alcotest.test_case "wrong n" `Quick test_range_proof_wrong_n;
+          Alcotest.test_case "index of path" `Quick test_index_of_path;
+          Alcotest.test_case "index of path, wrong n" `Quick test_index_of_path_wrong_n;
+          prop_range_proof_size_logarithmic;
+        ] );
+    ]

@@ -1,0 +1,489 @@
+(* Tests for the exact-numerics substrate: rational field axioms,
+   linear-function algebra, the exact simplex on known LPs, and region
+   classification cross-checked against dense point sampling. *)
+
+module Q = Aqv_num.Rational
+module Linfun = Aqv_num.Linfun
+module Halfspace = Aqv_num.Halfspace
+module Domain = Aqv_num.Domain
+module Simplex = Aqv_num.Simplex
+module Region = Aqv_num.Region
+
+let check = Alcotest.check
+let qt = Alcotest.testable Q.pp Q.equal
+
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let gen_q =
+  QCheck.Gen.(
+    map2
+      (fun p q -> Q.of_ints p (1 + abs q))
+      (int_range (-10000) 10000) (int_bound 999))
+
+let arb_q = QCheck.make ~print:Q.to_string gen_q
+
+(* ----------------------------- rational ----------------------------- *)
+
+let test_q_basics () =
+  check qt "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check qt "normalizes" (Q.of_ints 1 2) (Q.of_ints 3 6);
+  check qt "neg den" (Q.of_ints (-1) 2) (Q.of_ints 1 (-2));
+  check qt "mul" (Q.of_ints 1 3) (Q.mul (Q.of_ints 2 3) (Q.of_ints 1 2));
+  check qt "div" (Q.of_ints 4 3) (Q.div (Q.of_ints 2 3) (Q.of_ints 1 2));
+  check Alcotest.int "sign" (-1) (Q.sign (Q.of_ints (-3) 7));
+  check Alcotest.string "to_string int" "5" (Q.to_string (Q.of_int 5));
+  check Alcotest.string "to_string frac" "-2/3" (Q.to_string (Q.of_ints 2 (-3)))
+
+let test_q_decimal () =
+  check qt "12.5" (Q.of_ints 25 2) (Q.of_decimal "12.5");
+  check qt "-0.25" (Q.of_ints (-1) 4) (Q.of_decimal "-0.25");
+  check qt "3" (Q.of_int 3) (Q.of_decimal "3");
+  check qt "0.125" (Q.of_ints 1 8) (Q.of_decimal "0.125")
+
+let test_q_div_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let q_field_axioms =
+  qtest "field axioms" (QCheck.triple arb_q arb_q arb_q) (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal a (Q.sub (Q.add a b) b)
+      && (Q.sign b = 0 || Q.equal a (Q.mul (Q.div a b) b)))
+
+let q_compare_total =
+  qtest "compare total order" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      Q.compare a b = -Q.compare b a
+      && Q.equal a b = (Q.compare a b = 0))
+
+let q_mediant_between =
+  qtest "mediant strictly between" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      QCheck.assume (not (Q.equal a b));
+      let lo, hi = if Q.compare a b < 0 then (a, b) else (b, a) in
+      let m = Q.mediant lo hi in
+      Q.compare lo m < 0 && Q.compare m hi < 0)
+
+let q_average_between =
+  qtest "average strictly between" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      QCheck.assume (not (Q.equal a b));
+      let lo, hi = if Q.compare a b < 0 then (a, b) else (b, a) in
+      let m = Q.average lo hi in
+      Q.compare lo m < 0 && Q.compare m hi < 0)
+
+let q_encode_roundtrip =
+  qtest "wire roundtrip" arb_q (fun a ->
+      let w = Aqv_util.Wire.writer () in
+      Q.encode w a;
+      Q.equal a (Q.decode (Aqv_util.Wire.reader (Aqv_util.Wire.contents w))))
+
+(* ------------------------------ linfun ------------------------------ *)
+
+let test_linfun_eval () =
+  (* f(x, y) = 2x - 3y + 5 *)
+  let f = Linfun.of_ints [| 2; -3 |] 5 in
+  check qt "f(1,1)" (Q.of_int 4) (Linfun.eval f [| Q.one; Q.one |]);
+  check qt "f(0,0)" (Q.of_int 5) (Linfun.eval f [| Q.zero; Q.zero |]);
+  check qt "f(1/2,1/3)" (Q.of_int 5) (Linfun.eval f [| Q.of_ints 1 2; Q.of_ints 1 3 |])
+
+let test_linfun_sub_zero () =
+  let f = Linfun.of_ints [| 2; -3 |] 5 in
+  check Alcotest.bool "f - f = 0" true (Linfun.is_zero (Linfun.sub f f))
+
+let test_linfun_dim_mismatch () =
+  let f = Linfun.of_ints [| 1 |] 0 in
+  Alcotest.check_raises "eval arity" (Invalid_argument "Linfun.eval: dimension") (fun () ->
+      ignore (Linfun.eval f [| Q.one; Q.one |]))
+
+let gen_linfun d =
+  QCheck.Gen.(
+    map2
+      (fun cs c -> Linfun.make ~coeffs:(Array.of_list cs) ~const:c)
+      (list_repeat d gen_q) gen_q)
+
+let arb_linfun d =
+  QCheck.make ~print:(Format.asprintf "%a" Linfun.pp) (gen_linfun d)
+
+let linfun_sub_eval =
+  qtest "eval (f - g) = eval f - eval g"
+    (QCheck.triple (arb_linfun 2) (arb_linfun 2) (QCheck.pair arb_q arb_q))
+    (fun (f, g, (x, y)) ->
+      let p = [| x; y |] in
+      Q.equal (Linfun.eval (Linfun.sub f g) p) (Q.sub (Linfun.eval f p) (Linfun.eval g p)))
+
+let linfun_encode_roundtrip =
+  qtest "wire roundtrip" (arb_linfun 3) (fun f ->
+      let w = Aqv_util.Wire.writer () in
+      Linfun.encode w f;
+      Linfun.equal f (Linfun.decode (Aqv_util.Wire.reader (Aqv_util.Wire.contents w))))
+
+let linfun_digest_injective =
+  qtest "distinct functions, distinct digests" ~count:200
+    (QCheck.pair (arb_linfun 2) (arb_linfun 2))
+    (fun (f, g) -> Linfun.equal f g = String.equal (Linfun.digest f) (Linfun.digest g))
+
+(* ----------------------------- simplex ------------------------------ *)
+
+let q = Q.of_int
+
+let test_simplex_basic_max () =
+  (* max x + y st x <= 2, y <= 3, x + y <= 4 -> 4 at (1..2, ...) *)
+  let r =
+    Simplex.maximize
+      ~obj:[| Q.one; Q.one |]
+      ~rows:
+        [
+          ([| Q.one; Q.zero |], q 2);
+          ([| Q.zero; Q.one |], q 3);
+          ([| Q.one; Q.one |], q 4);
+        ]
+  in
+  match r with
+  | Simplex.Optimal (v, x) ->
+    check qt "optimum" (q 4) v;
+    check qt "constraint holds" (q 4) (Q.add x.(0) x.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_degenerate () =
+  (* max x st x <= 1, x <= 1 (duplicate constraints) *)
+  match
+    Simplex.maximize ~obj:[| Q.one |] ~rows:[ ([| Q.one |], Q.one); ([| Q.one |], Q.one) ]
+  with
+  | Simplex.Optimal (v, _) -> check qt "optimum" Q.one v
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_unbounded () =
+  match Simplex.maximize ~obj:[| Q.one |] ~rows:[ ([| Q.minus_one |], Q.one) ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_infeasible () =
+  (* x <= -1 with x >= 0 *)
+  match Simplex.maximize ~obj:[| Q.one |] ~rows:[ ([| Q.one |], q (-1)) ] with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_negative_rhs_feasible () =
+  (* -x <= -2 (x >= 2), x <= 5; max x -> 5 *)
+  match
+    Simplex.maximize ~obj:[| Q.one |]
+      ~rows:[ ([| Q.minus_one |], q (-2)); ([| Q.one |], q 5) ]
+  with
+  | Simplex.Optimal (v, x) ->
+    check qt "optimum" (q 5) v;
+    check qt "x" (q 5) x.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_2d_phase1 () =
+  (* x + y >= 2, x <= 3, y <= 3, max x + 2y -> (x=3 is not forced) opt: y=3, x=3 -> 9 *)
+  match
+    Simplex.maximize
+      ~obj:[| Q.one; q 2 |]
+      ~rows:
+        [
+          ([| Q.minus_one; Q.minus_one |], q (-2));
+          ([| Q.one; Q.zero |], q 3);
+          ([| Q.zero; Q.one |], q 3);
+        ]
+  with
+  | Simplex.Optimal (v, _) -> check qt "optimum" (q 9) v
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_fractional () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18: classic, opt 36 at (2,6) *)
+  match
+    Simplex.maximize
+      ~obj:[| q 3; q 5 |]
+      ~rows:
+        [
+          ([| Q.one; Q.zero |], q 4);
+          ([| Q.zero; q 2 |], q 12);
+          ([| q 3; q 2 |], q 18);
+        ]
+  with
+  | Simplex.Optimal (v, x) ->
+    check qt "optimum" (q 36) v;
+    check qt "x" (q 2) x.(0);
+    check qt "y" (q 6) x.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Random LPs: verify the returned point is feasible and achieves the
+   claimed objective; verify against brute-force over a grid that no
+   sampled feasible point beats it. *)
+let simplex_random_sound =
+  qtest ~count:200 "random LP soundness"
+    QCheck.(pair (list_of_size Gen.(int_range 1 6) (pair (pair small_signed_int small_signed_int) small_signed_int)) (pair small_signed_int small_signed_int))
+    (fun (raw_rows, (c1, c2)) ->
+      let rows =
+        List.map (fun ((a, b), r) -> ([| q a; q b |], q r)) raw_rows
+        (* keep it bounded *)
+        @ [ ([| Q.one; Q.zero |], q 10); ([| Q.zero; Q.one |], q 10) ]
+      in
+      let obj = [| q c1; q c2 |] in
+      match Simplex.maximize ~obj ~rows with
+      | Simplex.Unbounded -> false (* impossible: box-bounded *)
+      | Simplex.Infeasible ->
+        (* no grid point may be feasible *)
+        let feasible_exists = ref false in
+        for i = 0 to 20 do
+          for j = 0 to 20 do
+            let x = [| Q.of_ints i 2; Q.of_ints j 2 |] in
+            if
+              List.for_all
+                (fun (a, b) ->
+                  Q.compare (Q.add (Q.mul a.(0) x.(0)) (Q.mul a.(1) x.(1))) b <= 0)
+                rows
+            then feasible_exists := true
+          done
+        done;
+        not !feasible_exists
+      | Simplex.Optimal (v, x) ->
+        (* feasible *)
+        List.for_all
+          (fun (a, b) -> Q.compare (Q.add (Q.mul a.(0) x.(0)) (Q.mul a.(1) x.(1))) b <= 0)
+          rows
+        && Q.sign x.(0) >= 0 && Q.sign x.(1) >= 0
+        && Q.equal v (Q.add (Q.mul obj.(0) x.(0)) (Q.mul obj.(1) x.(1)))
+        && begin
+          (* no grid point beats it *)
+          let beaten = ref false in
+          for i = 0 to 20 do
+            for j = 0 to 20 do
+              let p = [| Q.of_ints i 2; Q.of_ints j 2 |] in
+              let feas =
+                List.for_all
+                  (fun (a, b) ->
+                    Q.compare (Q.add (Q.mul a.(0) p.(0)) (Q.mul a.(1) p.(1))) b <= 0)
+                  rows
+              in
+              let value = Q.add (Q.mul obj.(0) p.(0)) (Q.mul obj.(1) p.(1)) in
+              if feas && Q.compare value v > 0 then beaten := true
+            done
+          done;
+          not !beaten
+        end)
+
+(* 3-variable random LPs: the solution must be feasible, achieve its
+   claimed objective, and beat every vertex-ish grid sample *)
+let simplex_random_3d =
+  qtest ~count:100 "random LP soundness (3 vars)"
+    QCheck.(pair
+      (list_of_size Gen.(int_range 1 5) (pair (triple small_signed_int small_signed_int small_signed_int) small_signed_int))
+      (triple small_signed_int small_signed_int small_signed_int))
+    (fun (raw_rows, (c1, c2, c3)) ->
+      let box v = ([| (if v = 0 then Q.one else Q.zero); (if v = 1 then Q.one else Q.zero); (if v = 2 then Q.one else Q.zero) |], q 6) in
+      let rows =
+        List.map (fun ((a, b, c), r) -> ([| q a; q b; q c |], q r)) raw_rows
+        @ [ box 0; box 1; box 2 ]
+      in
+      let obj = [| q c1; q c2; q c3 |] in
+      let value p = Q.add (Q.mul obj.(0) p.(0)) (Q.add (Q.mul obj.(1) p.(1)) (Q.mul obj.(2) p.(2))) in
+      let feasible p =
+        List.for_all
+          (fun (a, b) ->
+            Q.compare
+              (Q.add (Q.mul a.(0) p.(0)) (Q.add (Q.mul a.(1) p.(1)) (Q.mul a.(2) p.(2))))
+              b
+            <= 0)
+          rows
+        && Array.for_all (fun v -> Q.sign v >= 0) p
+      in
+      match Simplex.maximize ~obj ~rows with
+      | Simplex.Unbounded -> false (* box-bounded *)
+      | Simplex.Infeasible ->
+        (* the origin-corner grid must also be infeasible *)
+        let any = ref false in
+        for i = 0 to 6 do
+          for j = 0 to 6 do
+            for k = 0 to 6 do
+              if feasible [| q i; q j; q k |] then any := true
+            done
+          done
+        done;
+        not !any
+      | Simplex.Optimal (v, x) ->
+        feasible x && Q.equal v (value x)
+        && begin
+          let beaten = ref false in
+          for i = 0 to 6 do
+            for j = 0 to 6 do
+              for k = 0 to 6 do
+                let p = [| q i; q j; q k |] in
+                if feasible p && Q.compare (value p) v > 0 then beaten := true
+              done
+            done
+          done;
+          not !beaten
+        end)
+
+(* ------------------------------ region ------------------------------ *)
+
+let test_region_1d_basic () =
+  let dom = Domain.of_ints [ (0, 10) ] in
+  let r = Region.of_domain dom in
+  (* f = x - 4: splits (0,10) *)
+  let f = Linfun.of_ints [| 1 |] (-4) in
+  check Alcotest.bool "splits" true (Region.classify r f = Region.Split);
+  (* take the above side: (4, 10) *)
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  check Alcotest.bool "no longer splits" true (Region.classify ra f = Region.Pos);
+  (* g = x - 12: entirely negative on (4, 10) *)
+  let g = Linfun.of_ints [| 1 |] (-12) in
+  check Alcotest.bool "g neg" true (Region.classify ra g = Region.Neg);
+  (* interior point is strictly inside *)
+  let p = Region.interior_point ra in
+  check Alcotest.bool "interior" true (Q.compare p.(0) (Q.of_int 4) > 0 && Q.compare p.(0) (Q.of_int 10) < 0)
+
+let test_region_1d_empty () =
+  let dom = Domain.of_ints [ (0, 10) ] in
+  let r = Region.of_domain dom in
+  let f = Linfun.of_ints [| 1 |] (-4) in
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  (* now require below f too: empty *)
+  check Alcotest.bool "empty" true (Region.add ra (Halfspace.below f) = None)
+
+let test_region_1d_contains_halfopen () =
+  let dom = Domain.of_ints [ (0, 10) ] in
+  let r = Region.of_domain dom in
+  let f = Linfun.of_ints [| 1 |] (-4) in
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  let rb = Option.get (Region.add r (Halfspace.below f)) in
+  let at4 = [| Q.of_int 4 |] in
+  check Alcotest.bool "boundary goes above" true (Region.contains ra at4);
+  check Alcotest.bool "boundary not below" false (Region.contains rb at4);
+  check Alcotest.bool "outside domain" false (Region.contains ra [| Q.of_int 11 |])
+
+let test_region_2d_classify () =
+  let dom = Domain.of_ints [ (0, 1); (0, 1) ] in
+  let r = Region.of_domain dom in
+  (* x - y: splits the unit square *)
+  let f = Linfun.of_ints [| 1; -1 |] 0 in
+  check Alcotest.bool "splits" true (Region.classify r f = Region.Split);
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  check Alcotest.bool "pos after cut" true (Region.classify ra f = Region.Pos);
+  (* x + y - 3: negative on the whole square *)
+  let g = Linfun.of_ints [| 1; 1 |] (-3) in
+  check Alcotest.bool "neg" true (Region.classify r g = Region.Neg);
+  (* boundary-touching: x + y - 2 touches only the corner (1,1) *)
+  let h = Linfun.of_ints [| 1; 1 |] (-2) in
+  check Alcotest.bool "corner contact is not a split" true (Region.classify r h = Region.Neg)
+
+let test_region_2d_interior () =
+  let dom = Domain.of_ints [ (0, 1); (0, 1) ] in
+  let r = Region.of_domain dom in
+  let f = Linfun.of_ints [| 1; -1 |] 0 in
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  (* x > y and 2x < y is empty in the positive quadrant *)
+  check Alcotest.bool "empty slice rejected" true
+    (Region.add ra (Halfspace.above (Linfun.of_ints [| -2; 1 |] 0)) = None);
+  (* region: x > y and x < 1/2 *)
+  let rb = Option.get (Region.add ra (Halfspace.below (Linfun.of_ints [| 2; 0 |] (-1)))) in
+  let p = Region.interior_point rb in
+  check Alcotest.bool "strictly inside" true
+    (Q.compare p.(0) p.(1) > 0 && Q.sign (Q.sub (Q.mul_int p.(0) 2) Q.one) < 0)
+
+let test_region_2d_empty_intersection () =
+  let dom = Domain.of_ints [ (0, 1); (0, 1) ] in
+  let r = Region.of_domain dom in
+  (* x > y and y > x: empty *)
+  let f = Linfun.of_ints [| 1; -1 |] 0 in
+  let ra = Option.get (Region.add r (Halfspace.above f)) in
+  check Alcotest.bool "empty" true (Region.add ra (Halfspace.above (Linfun.neg f)) = None)
+
+(* Random cross-check in 2-D: classify vs dense sampling. If sampling
+   finds points of both signs, classify must say Split; if classify says
+   Pos (resp. Neg), sampling must never find a strictly negative
+   (resp. positive) interior point. *)
+let region_classify_vs_sampling =
+  qtest ~count:150 "classify vs sampling (2d)"
+    QCheck.(pair (list_of_size Gen.(int_range 0 3) (triple small_signed_int small_signed_int small_signed_int)) (triple small_signed_int small_signed_int small_signed_int))
+    (fun (cuts, (a, b, c)) ->
+      QCheck.assume (a <> 0 || b <> 0 || c <> 0);
+      let dom = Domain.of_ints [ (0, 4); (0, 4) ] in
+      let region =
+        List.fold_left
+          (fun acc (ca, cb, cc) ->
+            match acc with
+            | None -> None
+            | Some r ->
+              let f = Linfun.of_ints [| ca; cb |] cc in
+              if Linfun.is_zero f then Some r
+              else begin
+                match Region.classify r f with
+                | Region.Split ->
+                  Region.add r (if (ca + cb + cc) mod 2 = 0 then Halfspace.above f else Halfspace.below f)
+                | _ -> Some r
+              end)
+          (Some (Region.of_domain dom)) cuts
+      in
+      match region with
+      | None -> QCheck.assume_fail ()
+      | Some r ->
+        let f = Linfun.of_ints [| a; b |] c in
+        let verdict = Region.classify r f in
+        let seen_pos = ref false and seen_neg = ref false in
+        for i = 0 to 16 do
+          for j = 0 to 16 do
+            let p = [| Q.of_ints i 4; Q.of_ints j 4 |] in
+            (* interior sampling only: strict w.r.t. constraints *)
+            if
+              Domain.contains dom p
+              && List.for_all (fun h -> Halfspace.contains_strictly h p) (Region.constraints r)
+            then begin
+              let s = Q.sign (Linfun.eval f p) in
+              if s > 0 then seen_pos := true;
+              if s < 0 then seen_neg := true
+            end
+          done
+        done;
+        (match verdict with
+        | Region.Split -> true (* sampling may miss thin slivers; no contradiction possible *)
+        | Region.Pos -> not !seen_neg
+        | Region.Neg -> not !seen_pos))
+
+let () =
+  Alcotest.run "aqv_num"
+    [
+      ( "rational",
+        [
+          Alcotest.test_case "basics" `Quick test_q_basics;
+          Alcotest.test_case "decimal parsing" `Quick test_q_decimal;
+          Alcotest.test_case "division by zero" `Quick test_q_div_zero;
+          q_field_axioms;
+          q_compare_total;
+          q_mediant_between;
+          q_average_between;
+          q_encode_roundtrip;
+        ] );
+      ( "linfun",
+        [
+          Alcotest.test_case "evaluation" `Quick test_linfun_eval;
+          Alcotest.test_case "self difference" `Quick test_linfun_sub_zero;
+          Alcotest.test_case "dimension mismatch" `Quick test_linfun_dim_mismatch;
+          linfun_sub_eval;
+          linfun_encode_roundtrip;
+          linfun_digest_injective;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic max" `Quick test_simplex_basic_max;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs_feasible;
+          Alcotest.test_case "phase-1 2d" `Quick test_simplex_2d_phase1;
+          Alcotest.test_case "fractional optimum" `Quick test_simplex_fractional;
+          simplex_random_sound;
+          simplex_random_3d;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "1d basics" `Quick test_region_1d_basic;
+          Alcotest.test_case "1d empty" `Quick test_region_1d_empty;
+          Alcotest.test_case "1d half-open contains" `Quick test_region_1d_contains_halfopen;
+          Alcotest.test_case "2d classify" `Quick test_region_2d_classify;
+          Alcotest.test_case "2d interior point" `Quick test_region_2d_interior;
+          Alcotest.test_case "2d empty intersection" `Quick test_region_2d_empty_intersection;
+          region_classify_vs_sampling;
+        ] );
+    ]
