@@ -5,14 +5,26 @@
          bundle.bin (template + domain + public key + epoch, for users)
 
      aqv_net serve --dir /tmp/aqv --port 7464
-         storage server: load index.bin, answer framed requests
+         storage server: load index.bin, serve framed requests through
+         the concurrent Aqv_serve.Engine (bounded connections, per-
+         connection deadlines, LRU response cache, graceful shutdown
+         on SIGINT/SIGTERM, periodic stats log)
 
      aqv_net query --dir /tmp/aqv --port 7464 --type topk --k 5 --at 0.3
          data user: read bundle.bin, send the query, VERIFY the reply
 
+     aqv_net stats --port 7464
+         dump the server's observability counters (in-band request)
+
+     aqv_net bench --clients 8 --requests 50
+         self-contained load generator: build an index, serve it from
+         an in-process engine, hammer it with M concurrent verifying
+         clients, report throughput and tail latency
+
      aqv_net selftest
-         fork a server, run owner + client against it, exit non-zero on
-         any verification failure (used as an end-to-end smoke test)
+         fork a server, run owner + client against it (including cache
+         and stats checks and a SIGTERM graceful-shutdown check), exit
+         non-zero on any failure
 
    The server process never sees a private key; the user process never
    sees the database — only the owner's 100-odd-byte bundle. *)
@@ -20,10 +32,15 @@
 module Q = Aqv_num.Rational
 module Prng = Aqv_util.Prng
 module Wire = Aqv_util.Wire
+module Histogram = Aqv_util.Histogram
 module Record = Aqv_db.Record
 module Table = Aqv_db.Table
 module Workload = Aqv_db.Workload
 module Signer = Aqv_crypto.Signer
+module Engine = Aqv_serve.Engine
+module Roundtrip = Aqv_serve.Roundtrip
+module Faults = Aqv_serve.Faults
+module Stats = Aqv_serve.Stats
 open Aqv
 open Cmdliner
 
@@ -38,6 +55,24 @@ let read_file path =
   let b = really_input_string ic n in
   close_in ic;
   b
+
+(* transport failures (server down, every retry exhausted) are user
+   errors at the CLI surface, not internal ones *)
+let or_transport_error f =
+  try f ()
+  with Failure m when String.length m >= 9 && String.sub m 0 9 = "Roundtrip" ->
+    Printf.eprintf "aqv_net: %s\n" m;
+    exit 1
+
+let setup_logging () =
+  Logs_threaded.enable ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match Sys.getenv_opt "AQV_LOG" with
+    | Some "debug" -> Some Logs.Debug
+    | Some "info" -> Some Logs.Info
+    | Some "quiet" -> None
+    | _ -> Some Logs.Warning)
 
 (* ------------------------------ publish ----------------------------- *)
 
@@ -60,60 +95,45 @@ let run_publish n seed scheme epoch dir =
 
 (* ------------------------------- serve ------------------------------ *)
 
-let serve_connections index sock ~once =
-  let rec accept_loop () =
-    let conn, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr conn and oc = Unix.out_channel_of_descr conn in
-    let rec session () =
-      match Protocol.read_frame ic with
-      | None -> ()
-      | Some payload ->
-        let reply =
-          match Protocol.decode_request (Wire.reader payload) with
-          | req -> Protocol.handle index req
-          | exception Failure m -> Protocol.Refused m
-        in
-        let w = Wire.writer () in
-        Protocol.encode_reply w reply;
-        Protocol.write_frame oc (Wire.contents w);
-        session ()
-    in
-    (try session () with _ -> ());
-    (try Unix.close conn with _ -> ());
-    if not once then accept_loop ()
-  in
-  accept_loop ()
+let engine_config port once max_conns cache_capacity idle_timeout read_timeout
+    write_timeout stats_interval faults =
+  {
+    Engine.default_config with
+    port;
+    once;
+    max_conns;
+    cache_capacity;
+    idle_timeout;
+    read_timeout;
+    write_timeout;
+    stats_interval;
+    faults;
+  }
 
-let run_serve dir port once =
+let run_serve dir port once max_conns cache_capacity idle_timeout read_timeout
+    write_timeout stats_interval fault_spec =
+  setup_logging ();
   let index = Ifmh.load (Wire.reader (read_file (Filename.concat dir "index.bin"))) in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 8;
-  Printf.printf "serving %d records on 127.0.0.1:%d%s\n%!"
+  let config =
+    engine_config port once max_conns cache_capacity idle_timeout read_timeout
+      write_timeout stats_interval fault_spec
+  in
+  let engine = Engine.create config index in
+  let stop _ = Engine.stop engine in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)\n%!"
     (Table.size (Ifmh.table index))
-    port
-    (if once then " (single connection)" else "");
-  serve_connections index sock ~once
+    (Engine.port engine)
+    (if once then " (single connection)" else "")
+    config.Engine.max_conns config.Engine.cache_capacity;
+  Engine.serve engine
 
 (* ------------------------------- query ------------------------------ *)
 
-let roundtrip port request =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
-  let w = Wire.writer () in
-  Protocol.encode_request w request;
-  Protocol.write_frame oc (Wire.contents w);
-  let reply =
-    match Protocol.read_frame ic with
-    | Some payload -> Protocol.decode_reply (Wire.reader payload)
-    | None -> failwith "server closed the connection"
-  in
-  Unix.close sock;
-  reply
-
 let run_query dir port qtype k l u y at =
+  setup_logging ();
   let bundle = Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin"))) in
   let ctx = Protocol.client_ctx bundle in
   let x = [| Q.of_decimal at |] in
@@ -124,9 +144,10 @@ let run_query dir port qtype k l u y at =
     | `Knn -> Query.knn ~x ~k ~y:(Q.of_decimal y)
   in
   Format.printf "query: %a@." Query.pp query;
-  match roundtrip port (Protocol.Run_query query) with
+  match or_transport_error (fun () -> Roundtrip.call ~port (Protocol.Run_query query)) with
   | Protocol.Refused m -> Format.printf "server refused: %s@." m
-  | Protocol.Rank_answer _ | Protocol.Count_answer _ -> Format.printf "protocol violation@."
+  | Protocol.Rank_answer _ | Protocol.Count_answer _ | Protocol.Stats _ ->
+    Format.printf "protocol violation@."
   | Protocol.Answer resp ->
     Format.printf "result (%d records):@." (List.length resp.Server.result);
     List.iter (fun r -> Format.printf "  %a@." Record.pp r) resp.Server.result;
@@ -134,22 +155,142 @@ let run_query dir port qtype k l u y at =
     | Ok () -> Format.printf "verification: ACCEPTED@."
     | Error r -> Format.printf "verification: REJECTED (%s)@." (Client.rejection_to_string r))
 
+(* ------------------------------- stats ------------------------------ *)
+
+let run_stats port =
+  setup_logging ();
+  match or_transport_error (fun () -> Roundtrip.call ~port Protocol.Get_stats) with
+  | Protocol.Stats kvs ->
+    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) kvs
+  | Protocol.Refused m -> Printf.printf "server refused: %s\n" m
+  | _ -> print_endline "protocol violation"
+
+(* ------------------------------- bench ------------------------------ *)
+
+(* Self-contained load generator: everything (owner, engine, M verifying
+   clients) in one process, so `aqv_net bench` is a one-command serving
+   baseline. Deterministic request streams per client via Prng splits;
+   wall-clock throughput and the latency histogram are the measurement. *)
+let run_bench records seed clients requests cache_capacity verify =
+  setup_logging ();
+  let table = Workload.lines_1d ~n:records (Prng.create (Int64.of_int seed)) in
+  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
+  let index = Ifmh.build ~epoch:1 ~scheme:Ifmh.Multi_signature table keypair in
+  let bundle = Protocol.bundle_of_index index keypair.Signer.public in
+  let ctx = Protocol.client_ctx bundle in
+  let config =
+    { Engine.default_config with port = 0; cache_capacity; max_conns = clients + 8 }
+  in
+  let engine = Engine.create config index in
+  let server = Thread.create Engine.serve engine in
+  let port = Engine.port engine in
+  let failures = ref 0 and failures_mu = Mutex.create () in
+  let client_thread i =
+    let prng = Prng.create (Int64.of_int ((seed * 1000) + i)) in
+    let hist = Histogram.create () in
+    Roundtrip.with_connection ~port (fun fd ->
+        for j = 0 to requests - 1 do
+          let x = Workload.weight_point table prng in
+          let l = Q.of_int (Prng.int_in prng 0 400) in
+          let u = Q.add l (Q.of_int (Prng.int_in prng 50 400)) in
+          let request, check =
+            match j mod 3 with
+            | 0 ->
+              let q = Query.top_k ~x ~k:(1 + Prng.int prng 8) in
+              ( Protocol.Run_query q,
+                function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
+            | 1 ->
+              let q = Query.range ~x ~l ~u in
+              ( Protocol.Run_query q,
+                function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
+            | _ ->
+              ( Protocol.Run_count { x; l; u },
+                function
+                | Protocol.Count_answer r ->
+                  Result.is_ok (Count.verify ctx ~x ~l ~u r)
+                | _ -> false )
+          in
+          let t0 = Unix.gettimeofday () in
+          let reply = Roundtrip.ask fd request in
+          let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+          Histogram.observe hist us;
+          if verify && not (check reply) then begin
+            Mutex.lock failures_mu;
+            incr failures;
+            Mutex.unlock failures_mu
+          end
+        done);
+    hist
+  in
+  let t0 = Unix.gettimeofday () in
+  let hists = Array.make clients (Histogram.create ()) in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create (fun () -> hists.(i) <- client_thread i) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Engine.stop engine;
+  Thread.join server;
+  let hist = Array.fold_left Histogram.merge (Histogram.create ()) hists in
+  let total = clients * requests in
+  let stats = Engine.stats engine in
+  Printf.printf "bench: %d records, %d clients x %d requests%s\n" records clients
+    requests
+    (if verify then " (client-verified)" else "");
+  Printf.printf "  wall        %.3f s\n" wall;
+  Printf.printf "  throughput  %.0f req/s\n" (float_of_int total /. wall);
+  Printf.printf "  latency us  p50=%d p90=%d p99=%d max=%d\n"
+    (Histogram.percentile hist 50) (Histogram.percentile hist 90)
+    (Histogram.percentile hist 99) (Histogram.max_value hist);
+  Printf.printf "  cache       %d hits / %d misses\n" (Stats.get stats "cache_hits")
+    (Stats.get stats "cache_misses");
+  Printf.printf "  bytes       %d in / %d out\n" (Stats.get stats "bytes_in")
+    (Stats.get stats "bytes_out");
+  Printf.printf "  verify      %d failure(s)\n" !failures;
+  if !failures > 0 then exit 1
+
 (* ------------------------------ selftest ---------------------------- *)
 
 let run_selftest () =
+  setup_logging ();
   let dir = Filename.temp_file "aqv" "net" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
-  let port = 7464 + (Unix.getpid () mod 500) in
   run_publish 60 42 `Multi 1 dir;
   flush stdout;
+  let port_file = Filename.concat dir "port" in
   match Unix.fork () with
   | 0 ->
-    (* child: serve exactly one connection, then exit *)
-    (try run_serve dir port true with _ -> ());
+    (* child: full concurrent engine on an ephemeral port (written to a
+       file for the parent); exits 0 after a graceful drain *)
+    (try
+       let index = Ifmh.load (Wire.reader (read_file (Filename.concat dir "index.bin"))) in
+       let config = engine_config 0 false 16 256 10. 5. 5. 0. None in
+       let engine = Engine.create config index in
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Engine.stop engine));
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+       write_file port_file (string_of_int (Engine.port engine));
+       Engine.serve engine
+     with _ -> exit 1);
     exit 0
   | pid ->
-    Unix.sleepf 0.3;
+    (* no fixed sleep: poll for the child's port file, bounded *)
+    let port =
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec poll () =
+        match int_of_string (String.trim (read_file port_file)) with
+        | port -> port
+        | exception _ ->
+          if Unix.gettimeofday () > deadline then
+            failwith "selftest: server never published its port"
+          else begin
+            Unix.sleepf 0.02;
+            poll ()
+          end
+      in
+      poll ()
+    in
     let bundle =
       Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin")))
     in
@@ -161,24 +302,18 @@ let run_selftest () =
         incr failures;
         Printf.printf "  %-32s FAILED\n" label
     in
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-    let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
-    let ask request =
-      let w = Wire.writer () in
-      Protocol.encode_request w request;
-      Protocol.write_frame oc (Wire.contents w);
-      match Protocol.read_frame ic with
-      | Some payload -> Protocol.decode_reply (Wire.reader payload)
-      | None -> failwith "no reply"
-    in
+    (* Roundtrip retries until the freshly bound server accepts *)
+    let ask request = Roundtrip.call ~port request in
     let x = [| Q.of_decimal "0.37" |] in
-    (* top-k over the wire *)
+    (* top-k over the wire — twice, so the second hit comes from the
+       response cache and must still verify bit-for-bit *)
     let q1 = Query.top_k ~x ~k:5 in
-    (match ask (Protocol.Run_query q1) with
-    | Protocol.Answer resp ->
-      expect_verified "top-5 over TCP" (Client.accepts ctx q1 resp)
-    | _ -> expect_verified "top-5 over TCP" false);
+    List.iter
+      (fun label ->
+        match ask (Protocol.Run_query q1) with
+        | Protocol.Answer resp -> expect_verified label (Client.accepts ctx q1 resp)
+        | _ -> expect_verified label false)
+      [ "top-5 over TCP"; "top-5 again (cached)" ];
     (* range *)
     let q2 = Query.range ~x ~l:(Q.of_int 100) ~u:(Q.of_int 600) in
     (match ask (Protocol.Run_query q2) with
@@ -204,8 +339,21 @@ let run_selftest () =
     (match ask (Protocol.Run_query (Query.top_k ~x:[| Q.of_int 9 |] ~k:1)) with
     | Protocol.Refused _ -> Printf.printf "  %-32s ok\n" "out-of-domain refused"
     | _ -> expect_verified "out-of-domain refused" false);
-    Unix.close sock;
-    ignore (Unix.waitpid [] pid);
+    (* in-band stats must reflect the workload above *)
+    (match ask Protocol.Get_stats with
+    | Protocol.Stats kvs ->
+      let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
+      expect_verified "stats: requests counted"
+        (get "req_query" >= 3 && get "req_rank" >= 1 && get "req_count" >= 1);
+      expect_verified "stats: cache hit+miss"
+        (get "cache_hits" >= 1 && get "cache_misses" >= 1);
+      expect_verified "stats: latency recorded" (get "latency_us_count" >= 5)
+    | _ -> expect_verified "stats over TCP" false);
+    (* graceful shutdown: SIGTERM must drain and exit 0 *)
+    Unix.kill pid Sys.sigterm;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> Printf.printf "  %-32s ok\n" "graceful shutdown (SIGTERM)"
+    | _ -> expect_verified "graceful shutdown (SIGTERM)" false);
     if !failures = 0 then print_endline "selftest: ALL OK"
     else begin
       Printf.printf "selftest: %d failure(s)\n" !failures;
@@ -221,6 +369,48 @@ let seed_t = Arg.(value & opt int 42 & info [ "seed" ])
 let epoch_t = Arg.(value & opt int 0 & info [ "epoch" ])
 let once_t = Arg.(value & flag & info [ "once" ] ~doc:"Serve a single connection and exit.")
 
+let max_conns_t =
+  Arg.(value & opt int 64 & info [ "max-conns" ] ~doc:"Concurrent connection limit.")
+
+let cache_t =
+  Arg.(value & opt int 1024 & info [ "cache" ] ~doc:"Response cache entries (0 disables).")
+
+let idle_timeout_t =
+  Arg.(value & opt float 10. & info [ "idle-timeout" ] ~doc:"Seconds to await a request.")
+
+let read_timeout_t =
+  Arg.(value & opt float 5. & info [ "read-timeout" ] ~doc:"Seconds to finish a frame.")
+
+let write_timeout_t =
+  Arg.(value & opt float 5. & info [ "write-timeout" ] ~doc:"Seconds to write a reply.")
+
+let stats_interval_t =
+  Arg.(value & opt float 60. & info [ "stats-interval" ] ~doc:"Stats log period (0 off).")
+
+let fault_t =
+  let doc =
+    "Fault injection for robustness drills: SEED:DELAY:TRUNC:DROP \
+     (probabilities in permille)."
+  in
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ seed; d; tr; dr ] -> (
+      try
+        Ok
+          (Some
+             (Faults.create ~seed:(Int64.of_string seed)
+                ~delay_permille:(int_of_string d)
+                ~truncate_permille:(int_of_string tr)
+                ~drop_permille:(int_of_string dr) ()))
+      with _ -> Error (`Msg "bad --faults spec"))
+    | _ -> Error (`Msg "expected SEED:DELAY:TRUNC:DROP")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some f -> Faults.pp ppf f
+  in
+  Arg.(value & opt (conv (parse, print)) None & info [ "faults" ] ~doc ~docv:"SPEC")
+
 let scheme_t =
   let c = Arg.enum [ ("one", `One); ("multi", `Multi) ] in
   Arg.(value & opt c `One & info [ "scheme" ])
@@ -234,18 +424,38 @@ let l_t = Arg.(value & opt string "0" & info [ "l" ])
 let u_t = Arg.(value & opt string "100" & info [ "u" ])
 let y_t = Arg.(value & opt string "0" & info [ "y" ])
 let at_t = Arg.(value & opt string "0.5" & info [ "at"; "x" ])
+let clients_t = Arg.(value & opt int 8 & info [ "clients" ] ~docv:"M")
+let requests_t = Arg.(value & opt int 50 & info [ "requests" ] ~docv:"R")
+
+let no_verify_t =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip client-side verification.")
 
 let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Owner: build and write index.bin + bundle.bin.")
     Term.(const run_publish $ records_t $ seed_t $ scheme_t $ epoch_t $ dir_t)
 
 let serve_cmd =
-  Cmd.v (Cmd.info "serve" ~doc:"Storage server: load index.bin, answer requests.")
-    Term.(const run_serve $ dir_t $ port_t $ once_t)
+  Cmd.v (Cmd.info "serve" ~doc:"Storage server: serve index.bin concurrently.")
+    Term.(
+      const run_serve $ dir_t $ port_t $ once_t $ max_conns_t $ cache_t
+      $ idle_timeout_t $ read_timeout_t $ write_timeout_t $ stats_interval_t
+      $ fault_t)
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Data user: send a query, verify the reply.")
     Term.(const run_query $ dir_t $ port_t $ qtype_t $ k_t $ l_t $ u_t $ y_t $ at_t)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Dump the server's observability counters.")
+    Term.(const run_stats $ port_t)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Load generator: in-process engine + M concurrent verifying clients.")
+    Term.(
+      const run_bench $ records_t $ seed_t $ clients_t $ requests_t $ cache_t
+      $ Term.app (Term.const not) no_verify_t)
 
 let selftest_cmd =
   Cmd.v (Cmd.info "selftest" ~doc:"Fork a server and verify replies end to end.")
@@ -253,4 +463,7 @@ let selftest_cmd =
 
 let () =
   let info = Cmd.info "aqv_net" ~doc:"verifiable analytic queries over TCP" in
-  exit (Cmd.eval (Cmd.group info [ publish_cmd; serve_cmd; query_cmd; selftest_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ publish_cmd; serve_cmd; query_cmd; stats_cmd; bench_cmd; selftest_cmd ]))

@@ -40,12 +40,14 @@ type request =
   | Run_query of Query.t
   | Run_rank of { x : Q.t array; record_id : int }
   | Run_count of { x : Q.t array; l : Q.t; u : Q.t }
+  | Get_stats
 
 type reply =
   | Answer of Server.response
   | Rank_answer of Server.response option
   | Count_answer of Count.response
   | Refused of string
+  | Stats of (string * int) list
 
 let encode_x w x =
   W.varint w (Array.length x);
@@ -68,6 +70,7 @@ let encode_request w = function
     encode_x w x;
     Q.encode w l;
     Q.encode w u
+  | Get_stats -> W.u8 w 3
 
 let decode_request r =
   match W.read_u8 r with
@@ -81,6 +84,7 @@ let decode_request r =
     let l = Q.decode r in
     let u = Q.decode r in
     Run_count { x; l; u }
+  | 3 -> Get_stats
   | _ -> failwith "Protocol: bad request tag"
 
 let encode_reply w = function
@@ -97,6 +101,13 @@ let encode_reply w = function
   | Refused msg ->
     W.u8 w 4;
     W.bytes w msg
+  | Stats kvs ->
+    W.u8 w 5;
+    W.list w
+      (fun (k, v) ->
+        W.bytes w k;
+        W.int w v)
+      kvs
 
 let decode_reply r =
   match W.read_u8 r with
@@ -105,14 +116,24 @@ let decode_reply r =
   | 2 -> Rank_answer (Some (Server.decode_response r))
   | 3 -> Count_answer (Count.decode r)
   | 4 -> Refused (W.read_bytes r)
+  | 5 ->
+    Stats
+      (W.read_list r (fun r ->
+           let k = W.read_bytes r in
+           let v = W.read_int r in
+           (k, v)))
   | _ -> failwith "Protocol: bad reply tag"
 
-let handle index request =
+let handle ?stats index request =
   match
     match request with
     | Run_query q -> Answer (Server.answer index q)
     | Run_rank { x; record_id } -> Rank_answer (Server.rank index ~x ~record_id)
     | Run_count { x; l; u } -> Count_answer (Count.answer index ~x ~l ~u)
+    | Get_stats -> (
+      match stats with
+      | Some f -> Stats (f ())
+      | None -> Refused "Protocol: stats not available")
   with
   | reply -> reply
   | exception Invalid_argument msg -> Refused msg
@@ -144,6 +165,20 @@ let read_frame ic =
       with End_of_file -> failwith "Protocol: truncated frame header"
     in
     if n > max_frame then failwith "Protocol: frame too large";
-    let buf = Bytes.create n in
-    (try really_input ic buf 0 n with End_of_file -> failwith "Protocol: truncated frame");
-    Some (Bytes.to_string buf)
+    (* chunked body read: the length is attacker-supplied, so never
+       allocate [n] bytes up front — a short stream claiming 64 MiB must
+       fail after buffering only what actually arrived *)
+    let chunk_cap = 64 * 1024 in
+    let buf = Buffer.create (min n chunk_cap) in
+    let chunk = Bytes.create (min (max n 1) chunk_cap) in
+    let rec fill remaining =
+      if remaining > 0 then begin
+        let k = min remaining (Bytes.length chunk) in
+        (try really_input ic chunk 0 k
+         with End_of_file -> failwith "Protocol: truncated frame");
+        Buffer.add_subbytes buf chunk 0 k;
+        fill (remaining - k)
+      end
+    in
+    fill n;
+    Some (Buffer.contents buf)

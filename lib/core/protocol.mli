@@ -30,12 +30,18 @@ type request =
   | Run_query of Query.t
   | Run_rank of { x : Aqv_num.Rational.t array; record_id : int }
   | Run_count of { x : Aqv_num.Rational.t array; l : Aqv_num.Rational.t; u : Aqv_num.Rational.t }
+  | Get_stats
+      (** Ask the serving runtime for its observability counters
+          (request counts, latency buckets, cache hits/misses, ...). *)
 
 type reply =
   | Answer of Server.response
   | Rank_answer of Server.response option
   | Count_answer of Count.response
   | Refused of string
+  | Stats of (string * int) list
+      (** Flat counter snapshot; keys are stable strings such as
+          ["req_query"] or ["latency_us_le_256"]. *)
 
 val encode_request : Aqv_util.Wire.writer -> request -> unit
 val decode_request : Aqv_util.Wire.reader -> request
@@ -43,9 +49,10 @@ val encode_reply : Aqv_util.Wire.writer -> reply -> unit
 val decode_reply : Aqv_util.Wire.reader -> reply
 (** @raise Failure on malformed input. *)
 
-val handle : Ifmh.t -> request -> reply
+val handle : ?stats:(unit -> (string * int) list) -> Ifmh.t -> request -> reply
 (** Server-side dispatch. Never raises: bad inputs come back as
-    [Refused]. *)
+    [Refused]. [Get_stats] is answered by the [stats] callback when
+    given (the serving runtime passes its counters), else [Refused]. *)
 
 (** {1 Framing} *)
 
@@ -53,4 +60,6 @@ val write_frame : out_channel -> string -> unit
 (** 4-byte big-endian length prefix + payload; flushes. *)
 
 val read_frame : in_channel -> string option
-(** [None] on clean EOF. @raise Failure on oversized/truncated frames. *)
+(** [None] on clean EOF. @raise Failure on oversized/truncated frames.
+    The body is read in bounded chunks: a short stream with a large
+    claimed length never causes the full claimed size to be allocated. *)

@@ -1,0 +1,276 @@
+module Wire = Aqv_util.Wire
+module Protocol = Aqv.Protocol
+module Ifmh = Aqv.Ifmh
+
+let src = Logs.Src.create "aqv.serve" ~doc:"IFMH serving engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  port : int;
+  max_conns : int;
+  backlog : int;
+  idle_timeout : float;
+  read_timeout : float;
+  write_timeout : float;
+  cache_capacity : int;
+  stats_interval : float;
+  drain_timeout : float;
+  once : bool;
+  faults : Faults.t option;
+}
+
+let default_config =
+  {
+    port = 7464;
+    max_conns = 64;
+    backlog = 64;
+    idle_timeout = 10.;
+    read_timeout = 5.;
+    write_timeout = 5.;
+    cache_capacity = 1024;
+    stats_interval = 0.;
+    drain_timeout = 5.;
+    once = false;
+    faults = None;
+  }
+
+type t = {
+  config : config;
+  index : Ifmh.t;
+  listen_sock : Unix.file_descr;
+  bound_port : int;
+  stats : Stats.t;
+  cache : Cache.t;
+  stopped : bool Atomic.t;
+  mu : Mutex.t;
+  mutable active : int;
+}
+
+let create config index =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen sock config.backlog;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  {
+    config;
+    index;
+    listen_sock = sock;
+    bound_port;
+    stats = Stats.create ();
+    cache = Cache.create ~capacity:config.cache_capacity;
+    stopped = Atomic.make false;
+    mu = Mutex.create ();
+    active = 0;
+  }
+
+let port t = t.bound_port
+let stats t = t.stats
+let stop t = Atomic.set t.stopped true
+
+(* Raised internally when fault injection kills the reply: the session
+   ends, but it is not an error of the session machinery itself. *)
+exception Fault_closed
+
+let encode_reply_bytes reply =
+  let w = Wire.writer () in
+  Protocol.encode_reply w reply;
+  Wire.contents w
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Compute (or fetch from cache) the encoded reply for one raw request
+   payload. Get_stats bypasses the cache — its reply changes with every
+   request. Malformed payloads become Refused, uniformly for Failure
+   and Invalid_argument (Bytes/array bounds in decoders). *)
+let reply_bytes_for t payload =
+  match Protocol.decode_request (Wire.reader payload) with
+  | exception (Failure msg | Invalid_argument msg) ->
+    Stats.on_request t.stats `Malformed;
+    Stats.on_refused t.stats;
+    encode_reply_bytes (Protocol.Refused msg)
+  | Protocol.Get_stats ->
+    Stats.on_request t.stats `Stats;
+    encode_reply_bytes (Protocol.Stats (Stats.to_assoc t.stats))
+  | request ->
+    Stats.on_request t.stats
+      (match request with
+      | Protocol.Run_query _ -> `Query
+      | Protocol.Run_rank _ -> `Rank
+      | Protocol.Run_count _ -> `Count
+      | Protocol.Get_stats -> assert false);
+    let key = string_of_int (Ifmh.epoch t.index) ^ ":" ^ payload in
+    (match Cache.find t.cache key with
+    | Some bytes ->
+      Stats.cache_hit t.stats;
+      bytes
+    | None ->
+      Stats.cache_miss t.stats;
+      let reply = Protocol.handle t.index request in
+      (match reply with
+      | Protocol.Refused _ -> Stats.on_refused t.stats
+      | _ -> ());
+      let bytes = encode_reply_bytes reply in
+      Cache.add t.cache key bytes;
+      bytes)
+
+let send_reply t fd bytes =
+  let deliver () =
+    let n = Frame_io.write_frame ~timeout:t.config.write_timeout fd bytes in
+    Stats.add_bytes_out t.stats n
+  in
+  match t.config.faults with
+  | None -> deliver ()
+  | Some f -> (
+    let framed_len = String.length bytes + 4 in
+    match Faults.draw f ~frame_len:framed_len with
+    | None -> deliver ()
+    | Some (Faults.Delay s) ->
+      Stats.on_fault t.stats `Delay;
+      Thread.delay s;
+      deliver ()
+    | Some (Faults.Truncate k) ->
+      Stats.on_fault t.stats `Truncate;
+      Frame_io.write_raw fd (String.sub (Frame_io.frame bytes) 0 k);
+      raise Fault_closed
+    | Some Faults.Drop ->
+      Stats.on_fault t.stats `Drop;
+      raise Fault_closed)
+
+let session t fd =
+  let rec loop () =
+    match
+      Frame_io.read_frame ~header_timeout:t.config.idle_timeout
+        ~body_timeout:t.config.read_timeout fd
+    with
+    | None -> () (* clean close *)
+    | Some payload ->
+      Stats.add_bytes_in t.stats (String.length payload + 4);
+      let t0 = now_us () in
+      let bytes = reply_bytes_for t payload in
+      Stats.observe_latency_us t.stats (now_us () - t0);
+      send_reply t fd bytes;
+      loop ()
+  in
+  loop ()
+
+let drop_session t exn =
+  Stats.session_dropped t.stats;
+  Log.info (fun m -> m "session dropped: %s" (Printexc.to_string exn))
+
+let session_thread t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.mu;
+      t.active <- t.active - 1;
+      Mutex.unlock t.mu)
+    (fun () ->
+      try session t fd with
+      | (Out_of_memory | Stack_overflow | Assert_failure _) as e ->
+        (* never swallow runtime-fatal conditions *)
+        Log.err (fun m -> m "FATAL in session: %s" (Printexc.to_string e));
+        raise e
+      | Fault_closed -> () (* injected fault already counted *)
+      | Frame_io.Timeout as e -> drop_session t e
+      | Unix.Unix_error _ as e -> drop_session t e
+      | Failure _ as e -> drop_session t e)
+
+let shed t fd =
+  Stats.conn_refused t.stats;
+  ignore
+    (Thread.create
+       (fun () ->
+         (try
+            let bytes = encode_reply_bytes (Protocol.Refused "overloaded") in
+            ignore (Frame_io.write_frame ~timeout:1.0 fd bytes)
+          with _ -> ());
+         try Unix.close fd with Unix.Unix_error _ -> ())
+       ())
+
+let stats_logger t =
+  ignore
+    (Thread.create
+       (fun () ->
+         let rec loop elapsed =
+           if not (Atomic.get t.stopped) then
+             if elapsed >= t.config.stats_interval then begin
+               Log.app (fun m -> m "%a" Stats.pp t.stats);
+               loop 0.
+             end
+             else begin
+               Thread.delay 0.25;
+               loop (elapsed +. 0.25)
+             end
+         in
+         loop 0.)
+       ())
+
+(* The accept loop polls [stopped] between short selects instead of
+   blocking in accept(2): signal handlers only set the flag, so
+   shutdown needs no pthread-kill / close-from-another-thread games. *)
+let serve t =
+  if t.config.stats_interval > 0. then stats_logger t;
+  let rec accept_loop () =
+    if not (Atomic.get t.stopped) then begin
+      let readable =
+        match Unix.select [ t.listen_sock ] [] [] 0.2 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      let accepted =
+        if not readable then None
+        else
+          match Unix.accept t.listen_sock with
+          | conn, _ -> Some conn
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            None
+      in
+      match accepted with
+      | None -> accept_loop ()
+      | Some conn ->
+        let admitted =
+          Mutex.lock t.mu;
+          let ok = t.active < t.config.max_conns in
+          if ok then t.active <- t.active + 1;
+          Mutex.unlock t.mu;
+          ok
+        in
+        if not admitted then begin
+          shed t conn;
+          accept_loop ()
+        end
+        else begin
+          Stats.conn_accepted t.stats;
+          if t.config.once then begin
+            session_thread t conn;
+            stop t
+          end
+          else begin
+            ignore (Thread.create (fun () -> session_thread t conn) ());
+            accept_loop ()
+          end
+        end
+    end
+  in
+  accept_loop ();
+  (* drain in-flight sessions, bounded *)
+  let deadline = Unix.gettimeofday () +. t.config.drain_timeout in
+  Mutex.lock t.mu;
+  while t.active > 0 && Unix.gettimeofday () < deadline do
+    Mutex.unlock t.mu;
+    Thread.delay 0.05;
+    Mutex.lock t.mu
+  done;
+  let leftover = t.active in
+  Mutex.unlock t.mu;
+  if leftover > 0 then
+    Log.warn (fun m -> m "drain timeout: %d session(s) still active" leftover);
+  (try Unix.close t.listen_sock with Unix.Unix_error _ -> ());
+  Log.info (fun m -> m "stopped: %a" Stats.pp t.stats)

@@ -1,0 +1,46 @@
+module Prng = Aqv_util.Prng
+
+type action = Delay of float | Truncate of int | Drop
+
+type t = {
+  prng : Prng.t;
+  mu : Mutex.t;
+  delay_permille : int;
+  truncate_permille : int;
+  drop_permille : int;
+  max_delay_ms : int;
+}
+
+let create ?(delay_permille = 0) ?(truncate_permille = 0) ?(drop_permille = 0)
+    ?(max_delay_ms = 50) ~seed () =
+  if
+    delay_permille < 0 || truncate_permille < 0 || drop_permille < 0
+    || delay_permille + truncate_permille + drop_permille > 1000
+    || max_delay_ms < 0
+  then invalid_arg "Faults.create";
+  {
+    prng = Prng.create seed;
+    mu = Mutex.create ();
+    delay_permille;
+    truncate_permille;
+    drop_permille;
+    max_delay_ms;
+  }
+
+let draw t ~frame_len =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let roll = Prng.int t.prng 1000 in
+      if roll < t.delay_permille then
+        Some (Delay (float_of_int (Prng.int t.prng (t.max_delay_ms + 1)) /. 1000.))
+      else if roll < t.delay_permille + t.truncate_permille then
+        Some (Truncate (Prng.int t.prng (max frame_len 1)))
+      else if roll < t.delay_permille + t.truncate_permille + t.drop_permille then
+        Some Drop
+      else None)
+
+let pp ppf t =
+  Format.fprintf ppf "delay=%d/1000(max %dms) truncate=%d/1000 drop=%d/1000"
+    t.delay_permille t.max_delay_ms t.truncate_permille t.drop_permille

@@ -1,0 +1,35 @@
+(** Deterministic fault injection for the serving runtime.
+
+    Draws from an {!Aqv_util.Prng} seed, so a fault schedule is
+    reproducible bit-for-bit: the robustness tests replay the exact
+    same delays, truncations, and drops every run. Applied by
+    {!Engine} at reply-write time — after the reply has been computed
+    and (if cacheable) cached, so injected corruption can never poison
+    the response cache. Thread-safe; with concurrent sessions the
+    per-session interleaving of draws follows scheduling order. *)
+
+type action =
+  | Delay of float  (** sleep this many seconds, then send normally *)
+  | Truncate of int  (** send only this many bytes of the framed reply, then close *)
+  | Drop  (** send nothing and close the connection *)
+
+type t
+
+val create :
+  ?delay_permille:int ->
+  ?truncate_permille:int ->
+  ?drop_permille:int ->
+  ?max_delay_ms:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** Per-reply fault probabilities in parts per thousand (defaults 0);
+    their sum must be at most 1000. Delays are uniform in
+    [\[0, max_delay_ms\]] (default 50 ms).
+    @raise Invalid_argument on a bad configuration. *)
+
+val draw : t -> frame_len:int -> action option
+(** Decide the fate of one framed reply of [frame_len] bytes (header
+    included); [Truncate n] satisfies [0 <= n < frame_len]. *)
+
+val pp : Format.formatter -> t -> unit

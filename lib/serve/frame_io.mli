@@ -1,0 +1,40 @@
+(** Deadline-aware frame I/O over raw file descriptors.
+
+    Same wire format as [Protocol.write_frame]/[read_frame] (4-byte
+    big-endian length prefix, 64 MiB cap), but over [Unix.file_descr]
+    with per-phase timeouts via [SO_RCVTIMEO]/[SO_SNDTIMEO], so both
+    the engine and the client roundtrip path get bounded blocking
+    without an event loop. All calls retry [EINTR]. *)
+
+exception Timeout
+(** A read or write exceeded its deadline. *)
+
+val set_recv_timeout : Unix.file_descr -> float -> unit
+(** 0. disables (blocks forever). *)
+
+val set_send_timeout : Unix.file_descr -> float -> unit
+
+val read_frame :
+  ?header_timeout:float -> ?body_timeout:float -> Unix.file_descr -> string option
+(** [None] on clean EOF before the first header byte. The body is read
+    in bounded chunks — an attacker-supplied length never causes an
+    eager allocation of the claimed size. [header_timeout] bounds the
+    wait for the frame to start (idle keep-alive), [body_timeout] the
+    rest of the frame; omitted timeouts leave the socket's current
+    setting untouched.
+    @raise Timeout on an expired deadline
+    @raise Failure on oversized or truncated frames. *)
+
+val write_frame : ?timeout:float -> Unix.file_descr -> string -> int
+(** Returns total bytes written (payload + 4-byte header).
+    @raise Timeout on an expired deadline
+    @raise Failure if the payload exceeds the frame cap. *)
+
+val write_raw : Unix.file_descr -> string -> unit
+(** Best-effort raw write (fault injection's truncated sends): errors
+    and short writes are ignored. *)
+
+val frame : string -> string
+(** The on-wire form of a payload: 4-byte header + payload.
+    @raise Failure if the payload exceeds the frame cap. *)
+

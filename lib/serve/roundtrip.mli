@@ -1,0 +1,36 @@
+(** Client-side request path with timeouts, bounded retry, and backoff.
+
+    All requests in the protocol are idempotent reads against an
+    immutable-per-epoch index, so retrying a failed roundtrip on a
+    fresh connection is always safe. Transport-level failures
+    (connection refused, reset, timeout, truncated reply, early EOF)
+    are retried up to [attempts] times with exponential backoff;
+    served replies — including [Refused] — are returned as-is. *)
+
+type opts = {
+  connect_timeout : float;  (** per-attempt connect(2) deadline, seconds *)
+  read_timeout : float;  (** per-reply read deadline, seconds *)
+  attempts : int;  (** total tries, including the first *)
+  backoff : float;  (** initial sleep between tries; doubles each retry *)
+}
+
+val default_opts : opts
+(** 1 s connect, 5 s read, 8 attempts, 50 ms initial backoff (so a
+    server still binding its socket is found well within a second). *)
+
+val connect : ?opts:opts -> int -> Unix.file_descr
+(** [connect port] dials 127.0.0.1:[port], retrying until the server
+    accepts (replaces the old sleep-and-hope startup dance).
+    @raise Failure when every attempt failed. *)
+
+val ask : ?opts:opts -> Unix.file_descr -> Aqv.Protocol.request -> Aqv.Protocol.reply
+(** One request/reply on an open connection — no retries (a persistent
+    session cannot resend safely without reframing); raises on
+    transport errors. *)
+
+val call : ?opts:opts -> port:int -> Aqv.Protocol.request -> Aqv.Protocol.reply
+(** Connect, ask, close — retrying the whole roundtrip on transport
+    failure. @raise Failure when every attempt failed. *)
+
+val with_connection : ?opts:opts -> port:int -> (Unix.file_descr -> 'a) -> 'a
+(** Persistent-connection scope; always closes the socket. *)

@@ -1,0 +1,43 @@
+(** Thread-safe observability counters for the serving runtime.
+
+    One {!t} per {!Engine.t}: request counts by type, a latency
+    histogram (integer microseconds, {!Aqv_util.Histogram}), bytes
+    in/out, cache and connection counters, and fault-injection tallies.
+    Exported over the wire as the flat [(key, value)] list carried by
+    [Protocol.Stats], and as a one-line periodic log. *)
+
+type t
+
+type request_kind = [ `Query | `Rank | `Count | `Stats | `Malformed ]
+type fault_kind = [ `Delay | `Truncate | `Drop ]
+
+val create : unit -> t
+
+val on_request : t -> request_kind -> unit
+val on_refused : t -> unit
+val observe_latency_us : t -> int -> unit
+val add_bytes_in : t -> int -> unit
+val add_bytes_out : t -> int -> unit
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val conn_accepted : t -> unit
+val conn_refused : t -> unit
+(** Connection shed at the [max_conns] limit. *)
+
+val session_dropped : t -> unit
+(** Session terminated by timeout, transport error, or malformed
+    framing (the cause is logged separately). *)
+
+val on_fault : t -> fault_kind -> unit
+
+val to_assoc : t -> (string * int) list
+(** Stable snapshot: every counter, then the latency histogram as
+    [latency_us_count], [latency_us_max], [latency_us_p50/p90/p99] and
+    one [latency_us_le_<bound>] entry per non-empty bucket. *)
+
+val get : t -> string -> int
+(** [get t key] is the current value of one counter from {!to_assoc}
+    (0 if absent) — convenience for tests and in-process probes. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary for the periodic log. *)

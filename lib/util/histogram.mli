@@ -1,0 +1,45 @@
+(** Exact-integer latency histogram.
+
+    Geometric (power-of-two) buckets over non-negative integers —
+    typically microseconds. Everything is integer arithmetic: counts,
+    bounds, and percentile ranks are exact, so histograms merge and
+    compare bit-for-bit across runs (the same reproducibility contract
+    as {!Prng}). Not thread-safe; callers serialize access. *)
+
+type t
+
+val create : unit -> t
+(** Empty histogram. Buckets have upper bounds [2^0, 2^1, ...] plus an
+    overflow bucket; an observation [v] lands in the first bucket with
+    [v <= bound]. *)
+
+val observe : t -> int -> unit
+(** Record one value. Negative values clamp to 0. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val sum : t -> int
+(** Sum of observed values (exact). *)
+
+val max_value : t -> int
+(** Largest observed value, 0 if empty. *)
+
+val percentile : t -> int -> int
+(** [percentile t p] for [p] in [0, 100]: the upper bound of the bucket
+    containing the observation of rank [ceil(p/100 * count)] — an upper
+    estimate of the p-th percentile. For the last occupied bucket the
+    exact max is returned instead of the bucket bound. 0 if empty.
+    @raise Invalid_argument if [p] is outside [0, 100]. *)
+
+val buckets : t -> (int * int) list
+(** [(upper_bound, count)] for every non-empty bucket, ascending.
+    The overflow bucket reports [max_int] as its bound. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; arguments unchanged. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line: count, max, and p50/p90/p99. *)
