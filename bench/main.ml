@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --only fig6a # one figure
      dune exec bench/main.exe -- --no-micro   # skip bechamel section
-     AQV_BENCH_SCALE=2 dune exec bench/main.exe   # larger sweeps
+     dune exec bench/main.exe -- --json BENCH.json  # machine-readable rows
+     AQV_BENCH_SCALE=2 dune exec bench/main.exe     # larger sweeps
+     AQV_DOMAINS=4 dune exec bench/main.exe -- --only fig5b  # par build pool
 
    The paper's testbed ran 1,000-10,000 records; the defaults here are
    scaled down so the full suite completes in minutes on a laptop (the
@@ -22,6 +24,7 @@ module Metrics = Aqv_util.Metrics
 module Signer = Aqv_crypto.Signer
 module Table = Aqv_db.Table
 module Workload = Aqv_db.Workload
+module Pool = Aqv_par.Pool
 open Aqv
 
 let scale =
@@ -40,6 +43,58 @@ let time f =
 
 let row fmt = Printf.printf fmt
 let header title = Printf.printf "\n== %s ==\n%!" title
+
+(* --------------------------- JSON output ---------------------------- *)
+
+(* `--json FILE` accumulates machine-readable rows (construction seq/par
+   seconds, speedups, per-figure wall time) so successive PRs leave a
+   perf trajectory (BENCH_*.json) instead of scrollback. No JSON
+   dependency in the image: emit by hand. *)
+
+type jval = J_num of float | J_int of int | J_str of string
+
+let json_rows : (string * jval) list list ref = ref []
+let json_add fields = json_rows := fields :: !json_rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jval_to_string = function
+  | J_num f -> Printf.sprintf "%.6f" f
+  | J_int i -> string_of_int i
+  | J_str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let write_json path ~total_s =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"aqv-bench-v1\",\n";
+  out "  \"scale\": %.3f,\n" scale;
+  out "  \"domains\": %d,\n" (Pool.size (Pool.default ()));
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"total_s\": %.3f,\n" total_s;
+  out "  \"rows\": [\n";
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i fields ->
+      out "    {%s}%s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (jval_to_string v)) fields))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d rows)\n%!" path (List.length rows)
 
 (* ----------------------------- contexts ----------------------------- *)
 
@@ -106,18 +161,47 @@ let fig5a () =
     [ 100; 200; 400; 600; 800; 1000 ]
 
 let fig5b () =
-  header "Fig 5b — construction time (seconds, real RSA-512 signing)";
-  row "%8s %12s %14s %14s\n" "n" "mesh" "multi-sig" "one-sig";
+  header "Fig 5b — construction time (seconds, real RSA-512 signing; seq vs par)";
   let kp = Lazy.force rsa_keypair in
+  let par = Pool.default () in
+  let seq = Pool.create ~domains:1 () in
+  let domains = Pool.size par in
+  row "(par pool: %d domain%s; set AQV_DOMAINS to override)\n" domains
+    (if domains = 1 then "" else "s");
+  row "%8s %9s %9s %9s %9s %9s %9s %9s\n" "n" "mesh" "mesh-par" "multi" "multi-par" "one"
+    "one-par" "speedup";
   List.iter
     (fun n ->
       let n = scaled n in
       let table = table_of n in
-      let _, t_mesh = time (fun () -> Mesh.build table kp) in
-      let _, t_multi = time (fun () -> Ifmh.build ~scheme:Ifmh.Multi_signature table kp) in
-      let _, t_one = time (fun () -> Ifmh.build ~scheme:Ifmh.One_signature table kp) in
-      row "%8d %12.3f %14.3f %14.3f\n%!" n t_mesh t_multi t_one)
-    [ 50; 100; 150; 200 ]
+      let measure scheme_name build_with =
+        let _, t_seq = time (fun () -> build_with seq) in
+        let _, t_par = time (fun () -> build_with par) in
+        json_add
+          [
+            ("figure", J_str "fig5b");
+            ("n", J_int n);
+            ("scheme", J_str scheme_name);
+            ("domains", J_int domains);
+            ("seq_s", J_num t_seq);
+            ("par_s", J_num t_par);
+            ("speedup", J_num (t_seq /. t_par));
+          ];
+        (t_seq, t_par)
+      in
+      let tm_s, tm_p = measure "mesh" (fun pool -> ignore (Mesh.build ~pool table kp)) in
+      let tu_s, tu_p =
+        measure "multi-sig" (fun pool ->
+            ignore (Ifmh.build ~pool ~scheme:Ifmh.Multi_signature table kp))
+      in
+      let to_s, to_p =
+        measure "one-sig" (fun pool ->
+            ignore (Ifmh.build ~pool ~scheme:Ifmh.One_signature table kp))
+      in
+      row "%8d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %8.2fx\n%!" n tm_s tm_p tu_s tu_p to_s
+        to_p (tu_s /. tu_p))
+    [ 50; 100; 150; 200 ];
+  Pool.shutdown seq
 
 let fig5c () =
   header "Fig 5c — size of the verification structure (MB)";
@@ -602,7 +686,17 @@ let micro_tests () =
   let xq = Workload.weight_point small_table rng in
   let small_q = Query.top_k ~x:xq ~k:3 in
   let small_resp = Server.answer real_small small_q in
+  (* pool overhead: the same cheap map sequentially and through the
+     pool's chunking/queueing machinery (dominated by dispatch when the
+     per-element work is this small) *)
+  let pool = Pool.default () in
+  let pool_input = Array.init 4096 (fun i -> i) in
+  let cheap x = (x * 2654435761) lxor (x lsr 7) in
   [
+    Test.make ~name:"pool-map-4k-seq"
+      (Staged.stage (fun () -> Array.map cheap pool_input));
+    Test.make ~name:"pool-map-4k-par"
+      (Staged.stage (fun () -> Pool.parallel_map pool cheap pool_input));
     Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> Aqv_crypto.Sha256.digest blob));
     Test.make ~name:"rsa512-sign" (Staged.stage (fun () -> kp.Signer.sign d));
     Test.make ~name:"rsa512-verify" (Staged.stage (fun () -> kp.Signer.verify d sig_rsa));
@@ -668,18 +762,27 @@ let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--list" args then List.iter (fun (id, _) -> print_endline id) figures
   else begin
-    let only =
+    let find_arg key =
       let rec find = function
-        | "--only" :: id :: _ -> Some id
+        | k :: v :: _ when k = key -> Some v
         | _ :: rest -> find rest
         | [] -> None
       in
       find args
     in
+    let only = find_arg "--only" in
+    let json_path = find_arg "--json" in
     let t0 = Unix.gettimeofday () in
     List.iter
-      (fun (id, run) -> match only with Some o when o <> id -> () | _ -> run ())
+      (fun (id, run) ->
+        match only with
+        | Some o when o <> id -> ()
+        | _ ->
+          let (), wall = time run in
+          json_add [ ("figure", J_str id); ("wall_s", J_num wall) ])
       figures;
     if only = None && not (List.mem "--no-micro" args) then run_micros ();
-    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    let total_s = Unix.gettimeofday () -. t0 in
+    Printf.printf "\ntotal bench time: %.1fs\n" total_s;
+    Option.iter (fun path -> write_json path ~total_s) json_path
   end

@@ -254,6 +254,12 @@ let run_bench records seed clients requests cache_capacity verify =
 
 let run_selftest () =
   setup_logging ();
+  (* The OCaml 5 runtime forbids Unix.fork in any process that has ever
+     spawned a domain, so the pre-fork publish step must not fan out:
+     pin the default pool to one domain before the first build. Only
+     this forking selftest needs the pin — `publish`/`serve` run in
+     their own processes and parallelize freely. *)
+  Unix.putenv "AQV_DOMAINS" "1";
   let dir = Filename.temp_file "aqv" "net" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;

@@ -72,8 +72,14 @@ let leaf_digest_for_signing ~domain ~cons_digests ~fmh_root ~n_leaves ~epoch =
   Sha256.digest_list
     [ leaf_sign_tag; Aqv_util.Wire.contents w; fmh_root; meta_bytes_of n_leaves epoch ]
 
-(* Bottom-up hash propagation over the I-tree (paper step 3). *)
-let propagate_hashes itree sorting rdig =
+(* Bottom-up hash propagation over the I-tree (paper step 3). The two
+   subtrees under the root are disjoint — no node is reachable from
+   both — so they propagate in parallel; each computes exactly the
+   hashes the sequential walk would, making the node hashes (and the
+   root) bit-identical. Deeper splitting is not worth the bookkeeping:
+   the I-tree is built by randomized insertion and its top split is
+   balanced in expectation. *)
+let propagate_hashes ~pool itree sorting rdig =
   let rec go (node : Itree.node) =
     match node.Itree.kind with
     | Itree.Leaf lf ->
@@ -88,7 +94,20 @@ let propagate_hashes itree sorting rdig =
       node.Itree.h <- h;
       h
   in
-  go (Itree.root itree)
+  let root = Itree.root itree in
+  match root.Itree.kind with
+  | Itree.Inode n when Aqv_par.Pool.size pool > 1 ->
+    let subs =
+      Aqv_par.Pool.parallel_init pool 2 (fun k ->
+          go (if k = 0 then n.Itree.above else n.Itree.below))
+    in
+    let h =
+      inode_digest ~rp_digest:rdig.(n.Itree.i) ~rq_digest:rdig.(n.Itree.j)
+        ~above:subs.(0) ~below:subs.(1)
+    in
+    root.Itree.h <- h;
+    h
+  | _ -> go root
 
 let default_seed = 0x17EEL
 
@@ -96,18 +115,20 @@ let default_seed = 0x17EEL
    propagation) and hand each scheme the digests it must cover. Shared
    by [build] (owner: signs) and [load] (server: attaches stored
    signatures). *)
-let build_structure ~seed ?fmh_storage table =
+let build_structure ~seed ?fmh_storage ~pool table =
   let itree = Itree.build ~seed (Table.domain table) (Table.functions table) in
-  let sorting = Sorting.build ?storage:fmh_storage table itree in
-  let rdig = Array.map Record.digest (Table.records table) in
+  (* digest once, in parallel, and thread the array into the sorting
+     build (which used to re-hash every record) *)
+  let rdig = Aqv_par.Pool.parallel_map pool Record.digest (Table.records table) in
+  let sorting = Sorting.build ?storage:fmh_storage ~pool ~rdig table itree in
   (itree, sorting, rdig)
 
-let assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
+let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
     ~sign_root ~sign_leaf =
   let n_leaves = Table.size table + 2 in
   match scheme with
   | One_signature ->
-    let root_hash = propagate_hashes itree sorting rdig in
+    let root_hash = propagate_hashes ~pool itree sorting rdig in
     {
       scheme;
       table;
@@ -121,8 +142,12 @@ let assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
     }
   | Multi_signature ->
     let domain = Table.domain table in
+    (* one RSA/DSA signature per subdomain: the dominant construction
+       cost, and each is a pure function of its own leaf — fan out.
+       Writing [node.h] is safe: leaves are distinct nodes, each touched
+       by exactly one task. *)
     let leaf_signatures =
-      Array.map
+      Aqv_par.Pool.parallel_map pool
         (fun (node : Itree.node) ->
           match node.Itree.kind with
           | Itree.Inode _ -> assert false
@@ -148,10 +173,11 @@ let assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
       leaf_signatures;
     }
 
-let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ~scheme table keypair =
-  let itree, sorting, rdig = build_structure ~seed ?fmh_storage table in
-  assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size table itree
-    sorting rdig
+let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ?pool ~scheme table keypair =
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  let itree, sorting, rdig = build_structure ~seed ?fmh_storage ~pool table in
+  assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size ~pool table
+    itree sorting rdig
     ~sign_root:keypair.Signer.sign
     ~sign_leaf:(fun _ d -> keypair.Signer.sign d)
 
@@ -177,8 +203,9 @@ let save w t =
   | None -> W.u8 w 0);
   W.list w (W.bytes w) (Array.to_list t.leaf_signatures)
 
-let load ?fmh_storage r =
+let load ?fmh_storage ?pool r =
   let module W = Aqv_util.Wire in
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let scheme =
     match W.read_u8 r with
     | 0 -> One_signature
@@ -198,13 +225,13 @@ let load ?fmh_storage r =
     | t -> t
     | exception Invalid_argument m -> failwith ("Ifmh.load: " ^ m)
   in
-  let itree, sorting, rdig = build_structure ~seed ?fmh_storage table in
+  let itree, sorting, rdig = build_structure ~seed ?fmh_storage ~pool table in
   if scheme = Multi_signature && Array.length leaf_signatures <> Itree.leaf_count itree then
     failwith "Ifmh.load: signature count mismatch";
   (* attach the stored signatures through the same assembly path *)
   let stored_root = root_signature in
   let t =
-    assemble ~scheme ~seed ~epoch ~signature_size table itree sorting rdig
+    assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
       ~sign_root:(fun _ -> Option.value ~default:"" stored_root)
       ~sign_leaf:(fun id _ -> leaf_signatures.(id))
   in

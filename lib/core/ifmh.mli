@@ -28,6 +28,7 @@ val build :
   ?seed:int64 ->
   ?fmh_storage:Sorting.storage ->
   ?epoch:int ->
+  ?pool:Aqv_par.Pool.pool ->
   scheme:scheme ->
   Aqv_db.Table.t ->
   Aqv_crypto.Signer.keypair ->
@@ -38,7 +39,18 @@ val build :
     FMH persistence policy (see {!Sorting.storage}; default
     [Snapshot]). [epoch] (default 0) is a freshness counter committed in
     every signature: clients configured with a minimum epoch reject
-    replays of stale database versions. *)
+    replays of stale database versions.
+
+    [pool] (default {!Aqv_par.Pool.default}, sized by [AQV_DOMAINS])
+    parallelizes the embarrassingly parallel stages — record digesting,
+    per-subdomain sorting and FMH construction in dimension >= 2,
+    per-leaf signing under [Multi_signature], and hash propagation over
+    the root's two subtrees. I-tree insertion and the 1-D sweep are
+    inherently incremental and stay sequential. The result is
+    bit-identical to a sequential build ([pool] of size 1): same root
+    hash, same signatures, same {!save} bytes — parallelism never
+    touches {!Aqv_util.Prng} streams, and every task writes only its
+    own slot. *)
 
 val epoch : t -> int
 val signature_size : t -> int
@@ -78,9 +90,10 @@ val save : Aqv_util.Wire.writer -> t -> unit
     the table and build seed, so only those inputs plus the owner's
     signatures go on the wire. *)
 
-val load : ?fmh_storage:Sorting.storage -> Aqv_util.Wire.reader -> t
+val load : ?fmh_storage:Sorting.storage -> ?pool:Aqv_par.Pool.pool -> Aqv_util.Wire.reader -> t
 (** Rebuild a saved index (e.g. on the storage server after the owner's
-    upload). Signatures are attached, not checked — the verifying
+    upload); the reconstruction parallelizes over [pool] exactly as
+    {!build} does. Signatures are attached, not checked — the verifying
     clients check them. @raise Failure on malformed input. *)
 
 type build_stats = {

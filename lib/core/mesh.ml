@@ -197,15 +197,15 @@ let span_digest du dv (lo, hi) =
   Q.encode w hi;
   Sha256.digest_list [ chain_tag; W.contents w ]
 
-let build table keypair =
+let build ?pool table keypair =
   if Table.dim table <> 1 then invalid_arg "Mesh.build: 1-D tables only";
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let n = Table.size table in
-  let rdig = Array.map Record.digest (Table.records table) in
+  let rdig = Aqv_par.Pool.parallel_map pool Record.digest (Table.records table) in
   let cells = ref [] in
   let bounds = Hashtbl.create 64 in
   let open_runs : (int * int, int) Hashtbl.t = Hashtbl.create (2 * n) in
   let runs : (int * int, run list) Hashtbl.t = Hashtbl.create (2 * n) in
-  let nsigs = ref 0 in
   let tmin = n and tmax = n + 1 in
   let on_cell c lob hib order =
     Hashtbl.replace bounds c (lob, hib);
@@ -218,16 +218,13 @@ let build table keypair =
       done
     end
   in
-  let finalize pair s e =
-    let u, v = pair in
-    let lo = fst (Hashtbl.find bounds s) in
-    let hi = snd (Hashtbl.find bounds e) in
-    let d = span_digest (token_digest rdig n u) (token_digest rdig n v) (lo, hi) in
-    let signature = keypair.Signer.sign d in
-    incr nsigs;
-    Hashtbl.replace runs pair
-      ({ s; e; signature } :: Option.value ~default:[] (Hashtbl.find_opt runs pair))
-  in
+  (* The sweep is sequential (each cell's order derives from its left
+     neighbour), but the Theta(n^2) signatures are each a pure function
+     of (pair, span): record the runs during the sweep, sign them in
+     parallel afterwards, then attach in the original finalize order so
+     the runs table is identical to what inline signing produced. *)
+  let pending = ref [] in
+  let finalize pair s e = pending := (pair, s, e) :: !pending in
   let on_adjacency_change ~ended ~started c =
     (* bounds of cell c are not registered yet: register via on_cell
        ordering — adjacency change fires before on_cell c, so ended runs
@@ -245,9 +242,65 @@ let build table keypair =
   let ncells = sweep table ~on_cell ~on_adjacency_change in
   (* close all remaining runs at the last cell *)
   Hashtbl.iter (fun pair s -> finalize pair s (ncells - 1)) open_runs;
+  let pending = Array.of_list (List.rev !pending) in
+  let signatures =
+    Aqv_par.Pool.parallel_map pool
+      (fun ((u, v), s, e) ->
+        let lo = fst (Hashtbl.find bounds s) in
+        let hi = snd (Hashtbl.find bounds e) in
+        let d = span_digest (token_digest rdig n u) (token_digest rdig n v) (lo, hi) in
+        keypair.Signer.sign d)
+      pending
+  in
+  Array.iteri
+    (fun i (pair, s, e) ->
+      Hashtbl.replace runs pair
+        ({ s; e; signature = signatures.(i) }
+        :: Option.value ~default:[] (Hashtbl.find_opt runs pair)))
+    pending;
   let cell_arr = Array.make ncells None in
   List.iter (fun (c, lob, hib, order) -> cell_arr.(c) <- Some { lob; hib; order }) !cells;
-  { table; cells = Array.map Option.get cell_arr; runs; n; signatures = !nsigs }
+  {
+    table;
+    cells = Array.map Option.get cell_arr;
+    runs;
+    n;
+    signatures = Array.length pending;
+  }
+
+(* Canonical digest of the whole mesh — cells in order, runs sorted by
+   (pair, start) — so two builds can be compared for bit-identity
+   without exposing the internals (hashtable iteration order is an
+   implementation detail the digest must not depend on). *)
+let fingerprint t =
+  let w = W.writer () in
+  W.varint w t.n;
+  W.varint w t.signatures;
+  Array.iter
+    (fun cell ->
+      Q.encode w cell.lob;
+      Q.encode w cell.hib;
+      Array.iter (fun p -> W.varint w p) (Pvec.to_array cell.order))
+    t.cells;
+  let all_runs =
+    Hashtbl.fold
+      (fun (u, v) rs acc -> List.fold_left (fun acc r -> (u, v, r) :: acc) acc rs)
+      t.runs []
+  in
+  let all_runs =
+    List.sort
+      (fun (u1, v1, r1) (u2, v2, r2) -> compare (u1, v1, r1.s, r1.e) (u2, v2, r2.s, r2.e))
+      all_runs
+  in
+  List.iter
+    (fun (u, v, r) ->
+      W.varint w u;
+      W.varint w v;
+      W.varint w r.s;
+      W.varint w r.e;
+      W.bytes w r.signature)
+    all_runs;
+  Sha256.digest (W.contents w)
 
 let count_signatures table =
   if Table.dim table <> 1 then invalid_arg "Mesh.count_signatures: 1-D tables only";

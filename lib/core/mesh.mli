@@ -16,13 +16,21 @@
 
 type t
 
-val build : Aqv_db.Table.t -> Aqv_crypto.Signer.keypair -> t
+val build : ?pool:Aqv_par.Pool.pool -> Aqv_db.Table.t -> Aqv_crypto.Signer.keypair -> t
 (** Owner-side construction: sweep the arrangement, maintain adjacency
-    runs, sign each maximal run.
+    runs, sign each maximal run. The sweep is sequential; the Theta(n^2)
+    run signatures are signed in parallel over [pool] (default
+    {!Aqv_par.Pool.default}), bit-identically to a sequential build.
     @raise Invalid_argument unless the table is 1-D. *)
 
 val subdomain_count : t -> int
 val signature_count : t -> int
+
+val fingerprint : t -> string
+(** Canonical SHA-256 over the full mesh (cell bounds and orders, runs
+    sorted by pair and span, signatures): two structurally identical
+    meshes — e.g. a sequential and a parallel build — have equal
+    fingerprints. *)
 
 val count_signatures : Aqv_db.Table.t -> int * int
 (** [(signatures, subdomains)] the mesh would need, computed by a crypto-

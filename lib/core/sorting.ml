@@ -173,9 +173,12 @@ let build_1d ~storage table itree rdig =
 
 (* ------------------------ general-d build -------------------------- *)
 
-let build_nd ~storage table itree rdig =
+(* Each leaf is a pure function of (functions, region, rdig), so the
+   map fans out over the pool; results land by leaf id, making the
+   entry array bit-identical to a sequential build. *)
+let build_nd ~pool ~storage table itree rdig =
   let fns = Table.functions table in
-  Array.map
+  Aqv_par.Pool.parallel_map pool
     (fun (node : Itree.node) ->
       let sample = Aqv_num.Region.interior_point node.Itree.region in
       let order = sorted_positions fns sample in
@@ -186,11 +189,21 @@ let build_nd ~storage table itree rdig =
       | Recompute -> Thin { order = pv; root = Mht.root tree })
     (Itree.leaves itree)
 
-let build ?(storage = Snapshot) table itree =
+let build ?(storage = Snapshot) ?pool ?rdig table itree =
   if Table.size table < 1 then invalid_arg "Sorting.build: empty table";
-  let rdig = Array.map Record.digest (Table.records table) in
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  let rdig =
+    (* callers that already digested the records (Ifmh.build_structure)
+       thread the array through instead of hashing every record twice *)
+    match rdig with
+    | Some d ->
+      if Array.length d <> Table.size table then
+        invalid_arg "Sorting.build: digest count mismatch";
+      d
+    | None -> Aqv_par.Pool.parallel_map pool Record.digest (Table.records table)
+  in
   let entries =
     if Table.dim table = 1 then build_1d ~storage table itree rdig
-    else build_nd ~storage table itree rdig
+    else build_nd ~pool ~storage table itree rdig
   in
   { entries; records = Table.size table; rdig; storage }

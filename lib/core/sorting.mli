@@ -9,8 +9,10 @@
     subdomain boundary transposes exactly the records that intersect
     there, so each snapshot costs O(g log n) over its neighbour (for a
     crossing group of size g) thanks to the persistence of
-    {!Aqv_util.Pvec} and {!Aqv_merkle.Mht}. In higher dimensions each
-    leaf is sorted independently at its witness point.
+    {!Aqv_util.Pvec} and {!Aqv_merkle.Mht}. The sweep is inherently
+    incremental and stays sequential. In higher dimensions each leaf is
+    sorted independently at its witness point, so leaves fan out over
+    the {!Aqv_par.Pool} — bit-identically to a sequential build.
 
     Two storage policies trade memory for query-time hashing:
     [Snapshot] keeps one persistent FMH per subdomain (shared
@@ -30,9 +32,20 @@ type leaf_lists = {
 
 type t
 
-val build : ?storage:storage -> Aqv_db.Table.t -> Itree.t -> t
-(** Default storage: [Snapshot].
-    @raise Invalid_argument if the table and tree disagree. *)
+val build :
+  ?storage:storage ->
+  ?pool:Aqv_par.Pool.pool ->
+  ?rdig:string array ->
+  Aqv_db.Table.t ->
+  Itree.t ->
+  t
+(** Default storage: [Snapshot]. [pool] (default {!Aqv_par.Pool.default})
+    parallelizes the per-leaf work in dimension >= 2. [rdig] supplies
+    precomputed record digests (one per record, in table order) so a
+    caller that already hashed the records — {!Ifmh.build} does — need
+    not pay for it twice; omitted, the digests are computed here.
+    @raise Invalid_argument if the table and tree disagree or [rdig]
+    has the wrong length. *)
 
 val leaf : t -> int -> leaf_lists
 (** Lists for I-tree leaf [id]. Under [Recompute] this rebuilds the

@@ -9,35 +9,39 @@ type snapshot = {
   bytes_out : int;
 }
 
-let hash_ops = ref 0
-let hash_bytes = ref 0
-let sign_ops = ref 0
-let verify_ops = ref 0
-let itree_nodes = ref 0
-let fmh_nodes = ref 0
-let mesh_cells = ref 0
-let bytes_out = ref 0
+(* Atomic, not plain refs: library code ticks these from whatever domain
+   happens to run it (the construction pipeline fans out over
+   Aqv_par.Pool workers), and lost increments would make parallel builds
+   report different op counts than sequential ones. *)
+let hash_ops = Atomic.make 0
+let hash_bytes = Atomic.make 0
+let sign_ops = Atomic.make 0
+let verify_ops = Atomic.make 0
+let itree_nodes = Atomic.make 0
+let fmh_nodes = Atomic.make 0
+let mesh_cells = Atomic.make 0
+let bytes_out = Atomic.make 0
 
 let reset () =
-  hash_ops := 0;
-  hash_bytes := 0;
-  sign_ops := 0;
-  verify_ops := 0;
-  itree_nodes := 0;
-  fmh_nodes := 0;
-  mesh_cells := 0;
-  bytes_out := 0
+  Atomic.set hash_ops 0;
+  Atomic.set hash_bytes 0;
+  Atomic.set sign_ops 0;
+  Atomic.set verify_ops 0;
+  Atomic.set itree_nodes 0;
+  Atomic.set fmh_nodes 0;
+  Atomic.set mesh_cells 0;
+  Atomic.set bytes_out 0
 
 let snapshot () =
   {
-    hash_ops = !hash_ops;
-    hash_bytes = !hash_bytes;
-    sign_ops = !sign_ops;
-    verify_ops = !verify_ops;
-    itree_nodes = !itree_nodes;
-    fmh_nodes = !fmh_nodes;
-    mesh_cells = !mesh_cells;
-    bytes_out = !bytes_out;
+    hash_ops = Atomic.get hash_ops;
+    hash_bytes = Atomic.get hash_bytes;
+    sign_ops = Atomic.get sign_ops;
+    verify_ops = Atomic.get verify_ops;
+    itree_nodes = Atomic.get itree_nodes;
+    fmh_nodes = Atomic.get fmh_nodes;
+    mesh_cells = Atomic.get mesh_cells;
+    bytes_out = Atomic.get bytes_out;
   }
 
 let diff a b =
@@ -59,15 +63,17 @@ let pp ppf s =
     s.hash_ops s.hash_bytes s.sign_ops s.verify_ops s.itree_nodes
     s.fmh_nodes s.mesh_cells s.bytes_out
 
-let add_hash ~bytes_len =
-  incr hash_ops;
-  hash_bytes := !hash_bytes + bytes_len
+let add n v = ignore (Atomic.fetch_and_add n v : int)
 
-let add_sign () = incr sign_ops
-let add_verify () = incr verify_ops
-let add_itree_nodes n = itree_nodes := !itree_nodes + n
-let add_fmh_nodes n = fmh_nodes := !fmh_nodes + n
-let add_mesh_cells n = mesh_cells := !mesh_cells + n
-let add_bytes_out n = bytes_out := !bytes_out + n
+let add_hash ~bytes_len =
+  Atomic.incr hash_ops;
+  add hash_bytes bytes_len
+
+let add_sign () = Atomic.incr sign_ops
+let add_verify () = Atomic.incr verify_ops
+let add_itree_nodes n = add itree_nodes n
+let add_fmh_nodes n = add fmh_nodes n
+let add_mesh_cells n = add mesh_cells n
+let add_bytes_out n = add bytes_out n
 
 let total_node_visits s = s.itree_nodes + s.fmh_nodes + s.mesh_cells

@@ -4,7 +4,15 @@
     cells traversed, hash operations, signature operations) as well as
     wall-clock time. Library code increments these counters at the point
     where the corresponding work happens; benchmarks snapshot them around
-    a measured region. Single-threaded by design. *)
+    a measured region.
+
+    Counters are [Atomic.t]-backed: the owner-side construction pipeline
+    fans work out over {!Aqv_par.Pool} domains, and the ticks issued
+    from worker domains must not be lost — a parallel build performs
+    exactly the same operations as a sequential one, so its totals must
+    match exactly. [snapshot] reads each counter atomically but not the
+    set of counters as a whole; take snapshots at quiescent points
+    (benchmarks already do). *)
 
 type snapshot = {
   hash_ops : int;  (** one-way hash compressions requested *)
