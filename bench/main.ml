@@ -665,6 +665,70 @@ let abl_count () =
         (float_of_int range_bytes /. float_of_int count_bytes))
     [ 5; 20; 50; 80; 100 ]
 
+let abl_update () =
+  header "Ablation — incremental maintenance: apply vs full rebuild (RSA-512)";
+  let n = scaled 200 in
+  let table = table_of n in
+  let kp = Lazy.force rsa_keypair in
+  let one = Ifmh.build ~scheme:Ifmh.One_signature ~epoch:1 table kp in
+  let multi = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table kp in
+  let mesh = Mesh.build table kp in
+  row "(n = %d, batch of b random modifies; sig = RSA signatures issued;\n" n;
+  row " one-sig pays 1 signature + a full hash re-propagation, multi-sig\n";
+  row " one signature per subdomain [%d here] + no propagation, mesh one\n"
+    (Itree.leaf_count (Ifmh.itree multi));
+  row " per dirtied run; rebuild = from-scratch multi-sig build)\n";
+  let measure f =
+    Metrics.reset ();
+    let before = Metrics.snapshot () in
+    let _, t = time f in
+    ((Metrics.diff (Metrics.snapshot ()) before).Metrics.sign_ops, t)
+  in
+  row "%6s | %8s %8s | %9s %8s | %8s %8s | %11s %9s\n" "b" "one sig" "one s" "multi sig"
+    "multi s" "mesh sig" "mesh s" "rebuild sig" "rebuild s";
+  List.iter
+    (fun b ->
+      let rng = Prng.create (Int64.of_int (0xAB10 + b)) in
+      let changes =
+        List.init b (fun _ ->
+            Update.Modify
+              (Aqv_db.Record.make ~id:(Prng.int rng n)
+                 ~attrs:
+                   [|
+                     Q.of_int (Prng.int_in rng (-1000) 1000);
+                     Q.of_int (Prng.int_in rng 0 1000);
+                   |]
+                 ()))
+      in
+      let s_one, t_one = measure (fun () -> Ifmh.apply kp changes one) in
+      let s_multi, t_multi = measure (fun () -> Ifmh.apply kp changes multi) in
+      let s_mesh, t_mesh = measure (fun () -> Mesh.apply kp changes mesh) in
+      let s_reb, t_reb =
+        measure (fun () ->
+            Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:2
+              (Update.apply_table changes table) kp)
+      in
+      List.iter
+        (fun (variant, sigs, secs) ->
+          json_add
+            [
+              ("figure", J_str "abl-update");
+              ("n", J_int n);
+              ("batch", J_int b);
+              ("variant", J_str variant);
+              ("sign_ops", J_int sigs);
+              ("wall_s", J_num secs);
+            ])
+        [
+          ("one-sig-apply", s_one, t_one);
+          ("multi-sig-apply", s_multi, t_multi);
+          ("mesh-apply", s_mesh, t_mesh);
+          ("multi-sig-rebuild", s_reb, t_reb);
+        ];
+      row "%6d | %8d %8.3f | %9d %8.3f | %8d %8.3f | %11d %9.3f\n%!" b s_one t_one
+        s_multi t_multi s_mesh t_mesh s_reb t_reb)
+    [ 1; 2; 4; 8; 16 ]
+
 (* ------------------------- bechamel micros -------------------------- *)
 
 let micro_tests () =
@@ -755,6 +819,7 @@ let figures =
     ("abl-correlation", abl_correlation);
     ("abl-batch", abl_batch);
     ("abl-count", abl_count);
+    ("abl-update", abl_update);
     ("ext-2d", ext_2d);
   ]
 

@@ -146,7 +146,8 @@ let run_query dir port qtype k l u y at =
   Format.printf "query: %a@." Query.pp query;
   match or_transport_error (fun () -> Roundtrip.call ~port (Protocol.Run_query query)) with
   | Protocol.Refused m -> Format.printf "server refused: %s@." m
-  | Protocol.Rank_answer _ | Protocol.Count_answer _ | Protocol.Stats _ ->
+  | Protocol.Rank_answer _ | Protocol.Count_answer _ | Protocol.Stats _
+  | Protocol.Republished _ ->
     Format.printf "protocol violation@."
   | Protocol.Answer resp ->
     Format.printf "result (%d records):@." (List.length resp.Server.result);

@@ -19,8 +19,11 @@ type t = {
   signature_size : int;
   seed : int64;
   epoch : int;
+  rdig : string array;  (** per-record digests, in table order *)
   root_signature : string option;
   leaf_signatures : string array;
+  root_digest : string option;  (** the digest [root_signature] covers *)
+  leaf_digests : string array;  (** the digests [leaf_signatures] cover *)
 }
 
 let scheme t = t.scheme
@@ -39,6 +42,16 @@ let leaf_signature t id =
   if Array.length t.leaf_signatures = 0 then
     invalid_arg "Ifmh.leaf_signature: one-signature index"
   else t.leaf_signatures.(id)
+
+let root_signing_digest t =
+  match t.root_digest with
+  | Some d -> d
+  | None -> invalid_arg "Ifmh.root_signing_digest: multi-signature index"
+
+let leaf_signing_digest t id =
+  if Array.length t.leaf_digests = 0 then
+    invalid_arg "Ifmh.leaf_signing_digest: one-signature index"
+  else t.leaf_digests.(id)
 
 let inode_tag = "\x04"
 let root_sign_tag = "\x05"
@@ -123,12 +136,16 @@ let build_structure ~seed ?fmh_storage ~pool table =
   let sorting = Sorting.build ?storage:fmh_storage ~pool ~rdig table itree in
   (itree, sorting, rdig)
 
+(* The assembled index keeps each signing digest next to its signature:
+   the incremental [apply] keys its signature reuse on them, and tests
+   compare them directly under fake signers. *)
 let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
     ~sign_root ~sign_leaf =
   let n_leaves = Table.size table + 2 in
   match scheme with
   | One_signature ->
     let root_hash = propagate_hashes ~pool itree sorting rdig in
+    let root_digest = root_digest_for_signing ~root_hash ~n_leaves ~epoch in
     {
       scheme;
       table;
@@ -137,8 +154,11 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
       signature_size;
       seed;
       epoch;
-      root_signature = Some (sign_root (root_digest_for_signing ~root_hash ~n_leaves ~epoch));
+      rdig;
+      root_signature = Some (sign_root root_digest);
       leaf_signatures = [||];
+      root_digest = Some root_digest;
+      leaf_digests = [||];
     }
   | Multi_signature ->
     let domain = Table.domain table in
@@ -146,7 +166,7 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
        cost, and each is a pure function of its own leaf — fan out.
        Writing [node.h] is safe: leaves are distinct nodes, each touched
        by exactly one task. *)
-    let leaf_signatures =
+    let signed =
       Aqv_par.Pool.parallel_map pool
         (fun (node : Itree.node) ->
           match node.Itree.kind with
@@ -157,8 +177,10 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
             let cons_digests =
               List.rev_map (fun (i, j, side) -> (rdig.(i), rdig.(j), side)) lf.Itree.cons
             in
-            sign_leaf lf.Itree.id
-              (leaf_digest_for_signing ~domain ~cons_digests ~fmh_root ~n_leaves ~epoch))
+            let digest =
+              leaf_digest_for_signing ~domain ~cons_digests ~fmh_root ~n_leaves ~epoch
+            in
+            (digest, sign_leaf lf.Itree.id digest))
         (Itree.leaves itree)
     in
     {
@@ -169,8 +191,11 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
       signature_size;
       seed;
       epoch;
+      rdig;
       root_signature = None;
-      leaf_signatures;
+      leaf_signatures = Array.map snd signed;
+      root_digest = None;
+      leaf_digests = Array.map fst signed;
     }
 
 let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ?pool ~scheme table keypair =
@@ -180,6 +205,127 @@ let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ?pool ~scheme table k
     itree sorting rdig
     ~sign_root:keypair.Signer.sign
     ~sign_leaf:(fun _ d -> keypair.Signer.sign d)
+
+(* ---------------------- incremental maintenance --------------------- *)
+
+(* Rebuild the structure for an updated table, reusing the old index's
+   record digests for records the update did not touch. The structure
+   itself (I-tree shape, sorted lists) is rebuilt from scratch: the
+   seeded insertion shuffle ranges over the full pair set, so any
+   splice-based shortcut would diverge from what a fresh [build] of the
+   updated table produces — and bit-identity with the fresh build is the
+   invariant that makes increments safe to serve. The savings live in
+   the crypto: digests of untouched records are reused here, and
+   signatures whose signing digest is unchanged are reused in [apply].
+   The reuse map is read-only under the pool — pool tasks stay pure. *)
+let rebuild_structure ~pool t table =
+  let by_id = Hashtbl.create (Array.length t.rdig) in
+  Array.iteri
+    (fun i r -> Hashtbl.replace by_id (Record.id r) (r, t.rdig.(i)))
+    (Table.records t.table);
+  let itree = Itree.build ~seed:t.seed (Table.domain table) (Table.functions table) in
+  let rdig =
+    Aqv_par.Pool.parallel_map pool
+      (fun r ->
+        match Hashtbl.find_opt by_id (Record.id r) with
+        | Some (r', d) when Record.equal r' r -> d
+        | _ -> Record.digest r)
+      (Table.records table)
+  in
+  let sorting =
+    Sorting.build ~storage:(Sorting.storage t.sorting) ~pool ~rdig table itree
+  in
+  (itree, sorting, rdig)
+
+let apply ?epoch ?pool keypair changes t =
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  let epoch = match epoch with Some e -> e | None -> t.epoch + 1 in
+  if epoch < t.epoch then invalid_arg "Ifmh.apply: epoch must not decrease";
+  let table = Update.apply_table changes t.table in
+  let itree, sorting, rdig = rebuild_structure ~pool t table in
+  (* Deterministic signing (PKCS#1-style RSA padding, RFC-6979-style DSA
+     nonces) makes signature reuse sound: same digest, same bytes. Only
+     digests the update did not change hit the cache — epoch and
+     n_leaves are committed in every digest, so a replayable signature
+     can never be reused across a version bump by construction. *)
+  let cache = Hashtbl.create (Array.length t.leaf_digests + 1) in
+  (match (t.root_digest, t.root_signature) with
+  | Some d, Some s -> Hashtbl.replace cache d s
+  | _ -> ());
+  Array.iteri (fun i d -> Hashtbl.replace cache d t.leaf_signatures.(i)) t.leaf_digests;
+  let sign d =
+    match Hashtbl.find_opt cache d with Some s -> s | None -> keypair.Signer.sign d
+  in
+  assemble ~scheme:t.scheme ~seed:t.seed ~epoch
+    ~signature_size:keypair.Signer.signature_size ~pool table itree sorting rdig
+    ~sign_root:sign
+    ~sign_leaf:(fun _ d -> sign d)
+
+let insert ?epoch ?pool keypair r t = apply ?epoch ?pool keypair [ Update.Insert r ] t
+let delete ?epoch ?pool keypair id t = apply ?epoch ?pool keypair [ Update.Delete id ] t
+let modify ?epoch ?pool keypair r t = apply ?epoch ?pool keypair [ Update.Modify r ] t
+
+(* ------------------------------ deltas ------------------------------ *)
+
+type delta = {
+  changes : Update.change list;
+  epoch : int;
+  root_signature : string option;
+  leaf_signatures : string array;
+}
+
+let delta_epoch d = d.epoch
+let delta_changes d = d.changes
+
+let delta ~changes (t : t) =
+  {
+    changes;
+    epoch = t.epoch;
+    root_signature = t.root_signature;
+    leaf_signatures = t.leaf_signatures;
+  }
+
+let encode_delta w d =
+  let module W = Aqv_util.Wire in
+  W.list w (Update.encode_change w) d.changes;
+  W.varint w d.epoch;
+  (match d.root_signature with
+  | Some s ->
+    W.u8 w 1;
+    W.bytes w s
+  | None -> W.u8 w 0);
+  W.list w (W.bytes w) (Array.to_list d.leaf_signatures)
+
+let decode_delta r =
+  let module W = Aqv_util.Wire in
+  let changes = W.read_list r Update.decode_change in
+  let epoch = W.read_varint r in
+  let root_signature = match W.read_u8 r with 1 -> Some (W.read_bytes r) | _ -> None in
+  let leaf_signatures = Array.of_list (W.read_list r W.read_bytes) in
+  { changes; epoch; root_signature; leaf_signatures }
+
+(* Server side of a republish: replay the owner's changes and attach the
+   shipped signatures, exactly as [load] attaches stored ones. The
+   server cannot check them (it has no key) — verifying clients do. *)
+let apply_delta ?pool (d : delta) (t : t) =
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  if d.epoch < t.epoch then failwith "Ifmh.apply_delta: epoch regression";
+  let table =
+    match Update.apply_table d.changes t.table with
+    | table -> table
+    | exception Invalid_argument m -> failwith ("Ifmh.apply_delta: " ^ m)
+  in
+  let itree, sorting, rdig = rebuild_structure ~pool t table in
+  (match t.scheme with
+  | One_signature ->
+    if d.root_signature = None then failwith "Ifmh.apply_delta: missing signature"
+  | Multi_signature ->
+    if Array.length d.leaf_signatures <> Itree.leaf_count itree then
+      failwith "Ifmh.apply_delta: signature count mismatch");
+  assemble ~scheme:t.scheme ~seed:t.seed ~epoch:d.epoch ~signature_size:t.signature_size
+    ~pool table itree sorting rdig
+    ~sign_root:(fun _ -> Option.value ~default:"" d.root_signature)
+    ~sign_leaf:(fun id _ -> d.leaf_signatures.(id))
 
 (* --------------------------- persistence --------------------------- *)
 

@@ -52,6 +52,76 @@ val build :
     touches {!Aqv_util.Prng} streams, and every task writes only its
     own slot. *)
 
+(** {1 Incremental maintenance}
+
+    The owner absorbs writes without rebuilding from scratch: {!apply}
+    replays a {!Update.change} list, bumps the epoch, and re-signs {e
+    only what changed} — under the multi-signature scheme one signature
+    per subdomain whose signing digest differs from the previous
+    version, under one-signature a single root re-sign (after a full
+    hash re-propagation: the asymmetry the paper's update-cost argument
+    measures, and the [abl-update] bench quantifies). Record digests of
+    untouched records are reused rather than re-hashed.
+
+    The maintained index is {e bit-identical} (root hash, every
+    signature, {!save} bytes) to a from-scratch {!build} of the updated
+    table at the same epoch — [test/test_update.ml] enforces this
+    property for random update sequences, both schemes, 1-D and 2-D,
+    sequential and parallel. Signature reuse is sound because signing is
+    deterministic, and never crosses a version bump because every
+    signing digest commits the epoch and leaf count. *)
+
+val apply :
+  ?epoch:int ->
+  ?pool:Aqv_par.Pool.pool ->
+  Aqv_crypto.Signer.keypair ->
+  Update.change list ->
+  t ->
+  t
+(** Owner-side incremental update. [epoch] defaults to the current epoch
+    + 1; passing the {e same} epoch is allowed (e.g. a no-op batch
+    re-signs nothing at all), a smaller one is not. [keypair] must be
+    the keypair the index was built with — cached signatures and fresh
+    ones are mixed.
+    @raise Invalid_argument on a malformed change list (see
+    {!Update.apply_table}) or a decreasing epoch. *)
+
+val insert :
+  ?epoch:int -> ?pool:Aqv_par.Pool.pool -> Aqv_crypto.Signer.keypair ->
+  Aqv_db.Record.t -> t -> t
+
+val delete :
+  ?epoch:int -> ?pool:Aqv_par.Pool.pool -> Aqv_crypto.Signer.keypair ->
+  int -> t -> t
+(** By record id. *)
+
+val modify :
+  ?epoch:int -> ?pool:Aqv_par.Pool.pool -> Aqv_crypto.Signer.keypair ->
+  Aqv_db.Record.t -> t -> t
+
+type delta
+(** What the owner ships to the storage server after an {!apply}: the
+    change list, the new epoch, and the new signatures. The server
+    replays the changes ({!apply_delta}) instead of re-downloading the
+    index; the structure is deterministic, so both sides converge on
+    identical bytes. *)
+
+val delta : changes:Update.change list -> t -> delta
+(** Package the [changes] that produced [t] (the {e updated} index). *)
+
+val delta_epoch : delta -> int
+val delta_changes : delta -> Update.change list
+
+val apply_delta : ?pool:Aqv_par.Pool.pool -> delta -> t -> t
+(** Server-side replay: rebuild the updated structure and attach the
+    shipped signatures (unchecked — clients verify).
+    @raise Failure on a malformed delta, a signature count mismatch, or
+    an epoch regression. *)
+
+val encode_delta : Aqv_util.Wire.writer -> delta -> unit
+val decode_delta : Aqv_util.Wire.reader -> delta
+(** @raise Failure on malformed input. *)
+
 val epoch : t -> int
 val signature_size : t -> int
 
@@ -64,6 +134,16 @@ val root_signature : t -> string
 
 val leaf_signature : t -> int -> string
 (** @raise Invalid_argument under the one-signature scheme. *)
+
+val root_signing_digest : t -> string
+(** The digest the root signature covers, as assembled.
+    @raise Invalid_argument under the multi-signature scheme. *)
+
+val leaf_signing_digest : t -> int -> string
+(** The digest leaf [id]'s signature covers, as assembled. Signature
+    reuse in {!apply} keys on these; tests compare them directly when
+    running under fake signers.
+    @raise Invalid_argument under the one-signature scheme. *)
 
 val leaf_digest_for_signing :
   domain:Aqv_num.Domain.t ->

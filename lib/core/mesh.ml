@@ -15,7 +15,7 @@ let chain_tag = "\x07"
 
 type cell = { lob : Q.t; hib : Q.t; order : int Pvec.t }
 
-type run = { s : int; e : int; signature : string }
+type run = { s : int; e : int; digest : string; signature : string }
 
 type t = {
   table : Table.t;
@@ -197,9 +197,8 @@ let span_digest du dv (lo, hi) =
   Q.encode w hi;
   Sha256.digest_list [ chain_tag; W.contents w ]
 
-let build ?pool table keypair =
+let build_with ~pool ~sign table =
   if Table.dim table <> 1 then invalid_arg "Mesh.build: 1-D tables only";
-  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let n = Table.size table in
   let rdig = Aqv_par.Pool.parallel_map pool Record.digest (Table.records table) in
   let cells = ref [] in
@@ -249,13 +248,14 @@ let build ?pool table keypair =
         let lo = fst (Hashtbl.find bounds s) in
         let hi = snd (Hashtbl.find bounds e) in
         let d = span_digest (token_digest rdig n u) (token_digest rdig n v) (lo, hi) in
-        keypair.Signer.sign d)
+        (d, sign d))
       pending
   in
   Array.iteri
     (fun i (pair, s, e) ->
+      let digest, signature = signatures.(i) in
       Hashtbl.replace runs pair
-        ({ s; e; signature = signatures.(i) }
+        ({ s; e; digest; signature }
         :: Option.value ~default:[] (Hashtbl.find_opt runs pair)))
     pending;
   let cell_arr = Array.make ncells None in
@@ -267,6 +267,29 @@ let build ?pool table keypair =
     n;
     signatures = Array.length pending;
   }
+
+let build ?pool table keypair =
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  build_with ~pool ~sign:keypair.Signer.sign table
+
+(* Chain-local repair: re-run the sweep over the updated table, but sign
+   only the runs whose signing digest is new. Run digests commit the two
+   record digests and the x-span — nothing position- or epoch-dependent
+   — so every adjacency the update left untouched (same neighbours, same
+   span) reuses its old signature verbatim; deterministic signing makes
+   the result bit-identical to a fresh build (same {!fingerprint}). The
+   digest cache is read-only under the pool — tasks stay pure. *)
+let apply ?pool keypair changes t =
+  let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
+  let table = Update.apply_table changes t.table in
+  let cache = Hashtbl.create (2 * t.signatures) in
+  Hashtbl.iter
+    (fun _ rs -> List.iter (fun r -> Hashtbl.replace cache r.digest r.signature) rs)
+    t.runs;
+  let sign d =
+    match Hashtbl.find_opt cache d with Some s -> s | None -> keypair.Signer.sign d
+  in
+  build_with ~pool ~sign table
 
 (* Canonical digest of the whole mesh — cells in order, runs sorted by
    (pair, start) — so two builds can be compared for bit-identity

@@ -23,6 +23,22 @@ val build : ?pool:Aqv_par.Pool.pool -> Aqv_db.Table.t -> Aqv_crypto.Signer.keypa
     {!Aqv_par.Pool.default}), bit-identically to a sequential build.
     @raise Invalid_argument unless the table is 1-D. *)
 
+val apply :
+  ?pool:Aqv_par.Pool.pool ->
+  Aqv_crypto.Signer.keypair ->
+  Update.change list ->
+  t ->
+  t
+(** Chain-local repair after record-level changes: re-sweep the updated
+    arrangement, but create new signatures only for adjacency runs whose
+    signing digest (pair record digests + x-span) did not exist in the
+    old mesh — untouched chains keep their signatures verbatim. The
+    result is bit-identical (same {!fingerprint}) to a fresh {!build} of
+    the updated table; [test/test_update.ml] asserts both that and the
+    strictly smaller signature count via {!Aqv_util.Metrics}.
+    @raise Invalid_argument on a malformed change list (see
+    {!Update.apply_table}). *)
+
 val subdomain_count : t -> int
 val signature_count : t -> int
 

@@ -41,6 +41,7 @@ type request =
   | Run_rank of { x : Q.t array; record_id : int }
   | Run_count of { x : Q.t array; l : Q.t; u : Q.t }
   | Get_stats
+  | Republish of Ifmh.delta
 
 type reply =
   | Answer of Server.response
@@ -48,6 +49,7 @@ type reply =
   | Count_answer of Count.response
   | Refused of string
   | Stats of (string * int) list
+  | Republished of int
 
 let encode_x w x =
   W.varint w (Array.length x);
@@ -71,6 +73,9 @@ let encode_request w = function
     Q.encode w l;
     Q.encode w u
   | Get_stats -> W.u8 w 3
+  | Republish delta ->
+    W.u8 w 4;
+    Ifmh.encode_delta w delta
 
 let decode_request r =
   match W.read_u8 r with
@@ -85,6 +90,7 @@ let decode_request r =
     let u = Q.decode r in
     Run_count { x; l; u }
   | 3 -> Get_stats
+  | 4 -> Republish (Ifmh.decode_delta r)
   | _ -> failwith "Protocol: bad request tag"
 
 let encode_reply w = function
@@ -108,6 +114,9 @@ let encode_reply w = function
         W.bytes w k;
         W.int w v)
       kvs
+  | Republished epoch ->
+    W.u8 w 6;
+    W.varint w epoch
 
 let decode_reply r =
   match W.read_u8 r with
@@ -122,9 +131,10 @@ let decode_reply r =
            let k = W.read_bytes r in
            let v = W.read_int r in
            (k, v)))
+  | 6 -> Republished (W.read_varint r)
   | _ -> failwith "Protocol: bad reply tag"
 
-let handle ?stats index request =
+let handle ?stats ?republish index request =
   match
     match request with
     | Run_query q -> Answer (Server.answer index q)
@@ -134,6 +144,10 @@ let handle ?stats index request =
       match stats with
       | Some f -> Stats (f ())
       | None -> Refused "Protocol: stats not available")
+    | Republish delta -> (
+      match republish with
+      | Some f -> Republished (f delta)
+      | None -> Refused "Protocol: republish not available")
   with
   | reply -> reply
   | exception Invalid_argument msg -> Refused msg

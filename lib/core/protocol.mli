@@ -33,6 +33,11 @@ type request =
   | Get_stats
       (** Ask the serving runtime for its observability counters
           (request counts, latency buckets, cache hits/misses, ...). *)
+  | Republish of Ifmh.delta
+      (** Owner → server: replay these changes and serve the new epoch
+          (the serving runtime installs it atomically via
+          [Aqv_serve.Engine.swap_index]). Carries the owner's new
+          signatures, never a key. *)
 
 type reply =
   | Answer of Server.response
@@ -42,6 +47,7 @@ type reply =
   | Stats of (string * int) list
       (** Flat counter snapshot; keys are stable strings such as
           ["req_query"] or ["latency_us_le_256"]. *)
+  | Republished of int  (** the epoch now being served *)
 
 val encode_request : Aqv_util.Wire.writer -> request -> unit
 val decode_request : Aqv_util.Wire.reader -> request
@@ -49,10 +55,18 @@ val encode_reply : Aqv_util.Wire.writer -> reply -> unit
 val decode_reply : Aqv_util.Wire.reader -> reply
 (** @raise Failure on malformed input. *)
 
-val handle : ?stats:(unit -> (string * int) list) -> Ifmh.t -> request -> reply
+val handle :
+  ?stats:(unit -> (string * int) list) ->
+  ?republish:(Ifmh.delta -> int) ->
+  Ifmh.t ->
+  request ->
+  reply
 (** Server-side dispatch. Never raises: bad inputs come back as
     [Refused]. [Get_stats] is answered by the [stats] callback when
-    given (the serving runtime passes its counters), else [Refused]. *)
+    given (the serving runtime passes its counters), else [Refused];
+    likewise [Republish] by the [republish] callback, which returns the
+    epoch now being served (raising [Failure]/[Invalid_argument] turns
+    into [Refused]). *)
 
 (** {1 Framing} *)
 

@@ -1,0 +1,55 @@
+module W = Aqv_util.Wire
+module Record = Aqv_db.Record
+module Table = Aqv_db.Table
+
+type change =
+  | Insert of Record.t
+  | Delete of int
+  | Modify of Record.t
+
+let pp_change ppf = function
+  | Insert r -> Format.fprintf ppf "insert %a" Record.pp r
+  | Delete id -> Format.fprintf ppf "delete #%d" id
+  | Modify r -> Format.fprintf ppf "modify %a" Record.pp r
+
+(* One change over a record list; positions in list order mirror the
+   table's array order, so Modify keeps the position and Insert appends
+   — the invariant both ends of a delta rely on. *)
+let apply_one records = function
+  | Insert r ->
+    if List.exists (fun r' -> Record.id r' = Record.id r) records then
+      invalid_arg (Printf.sprintf "Update: insert of existing id %d" (Record.id r));
+    records @ [ r ]
+  | Delete id ->
+    if not (List.exists (fun r' -> Record.id r' = id) records) then
+      invalid_arg (Printf.sprintf "Update: delete of unknown id %d" id);
+    List.filter (fun r' -> Record.id r' <> id) records
+  | Modify r ->
+    if not (List.exists (fun r' -> Record.id r' = Record.id r) records) then
+      invalid_arg (Printf.sprintf "Update: modify of unknown id %d" (Record.id r));
+    List.map (fun r' -> if Record.id r' = Record.id r then r else r') records
+
+let apply_table changes table =
+  let records =
+    List.fold_left apply_one (Array.to_list (Table.records table)) changes
+  in
+  if records = [] then invalid_arg "Update: change list empties the table";
+  Table.make ~records ~template:(Table.template table) ~domain:(Table.domain table)
+
+let encode_change w = function
+  | Insert r ->
+    W.u8 w 0;
+    Record.encode w r
+  | Delete id ->
+    W.u8 w 1;
+    W.varint w id
+  | Modify r ->
+    W.u8 w 2;
+    Record.encode w r
+
+let decode_change r =
+  match W.read_u8 r with
+  | 0 -> Insert (Record.decode r)
+  | 1 -> Delete (W.read_varint r)
+  | 2 -> Modify (Record.decode r)
+  | _ -> failwith "Update: bad change tag"

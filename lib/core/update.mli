@@ -1,0 +1,33 @@
+(** Record-level changes to an outsourced table.
+
+    The owner edits the database through a list of {!change}s; the same
+    list is shipped to the storage server inside an {!Ifmh.delta}, so
+    both sides must derive the {e same} updated table. [apply_table]
+    fixes that canonical semantics:
+
+    - [Modify r] replaces the record with [r]'s id in place (same
+      position in the record array);
+    - [Delete id] removes the record, shifting later positions left;
+    - [Insert r] appends [r] at the end;
+    - changes apply sequentially in list order.
+
+    Because {!Aqv_db.Table.make} re-validates the result, a malformed
+    sequence (duplicate id on insert, unknown id on delete/modify,
+    emptying the table) fails loudly instead of producing an index that
+    silently disagrees with the owner's. *)
+
+type change =
+  | Insert of Aqv_db.Record.t
+  | Delete of int  (** record id *)
+  | Modify of Aqv_db.Record.t  (** replaces the record with the same id *)
+
+val pp_change : Format.formatter -> change -> unit
+
+val apply_table : change list -> Aqv_db.Table.t -> Aqv_db.Table.t
+(** @raise Invalid_argument on inserting an existing id, deleting or
+    modifying a missing id, emptying the table, or a record that does
+    not fit the table's template. *)
+
+val encode_change : Aqv_util.Wire.writer -> change -> unit
+val decode_change : Aqv_util.Wire.reader -> change
+(** @raise Failure on malformed input. *)

@@ -37,7 +37,7 @@ let default_config =
 
 type t = {
   config : config;
-  index : Ifmh.t;
+  index : Ifmh.t Atomic.t;
   listen_sock : Unix.file_descr;
   bound_port : int;
   stats : Stats.t;
@@ -59,7 +59,7 @@ let create config index =
   in
   {
     config;
-    index;
+    index = Atomic.make index;
     listen_sock = sock;
     bound_port;
     stats = Stats.create ();
@@ -72,6 +72,21 @@ let create config index =
 let port t = t.bound_port
 let stats t = t.stats
 let stop t = Atomic.set t.stopped true
+let index t = Atomic.get t.index
+
+(* Hot swap: install a new index without restarting. The epoch must
+   strictly advance — swaps serialize under [t.mu], so two racing
+   republishes cannot install out of order; request paths never take the
+   lock, they just [Atomic.get] a snapshot. The response cache needs no
+   flushing: keys embed the epoch of the snapshot that produced them, so
+   pre-swap entries simply become unreachable. *)
+let swap_index t index' =
+  Mutex.lock t.mu;
+  let installed = Ifmh.epoch index' > Ifmh.epoch (Atomic.get t.index) in
+  if installed then Atomic.set t.index index';
+  Mutex.unlock t.mu;
+  if installed then Stats.index_swapped t.stats;
+  installed
 
 (* Raised internally when fault injection kills the reply: the session
    ends, but it is not an error of the session machinery itself. *)
@@ -97,21 +112,43 @@ let reply_bytes_for t payload =
   | Protocol.Get_stats ->
     Stats.on_request t.stats `Stats;
     encode_reply_bytes (Protocol.Stats (Stats.to_assoc t.stats))
+  | Protocol.Republish delta ->
+    (* uncached, like Get_stats: a republish mutates serving state *)
+    Stats.on_request t.stats `Republish;
+    let reply =
+      match Ifmh.apply_delta delta (Atomic.get t.index) with
+      | exception (Failure msg | Invalid_argument msg) ->
+        Stats.on_refused t.stats;
+        Protocol.Refused msg
+      | index' ->
+        if swap_index t index' then begin
+          Log.info (fun m -> m "republished: now serving epoch %d" (Ifmh.epoch index'));
+          Protocol.Republished (Ifmh.epoch index')
+        end
+        else begin
+          Stats.on_refused t.stats;
+          Protocol.Refused "Engine: republish does not advance the epoch"
+        end
+    in
+    encode_reply_bytes reply
   | request ->
     Stats.on_request t.stats
       (match request with
       | Protocol.Run_query _ -> `Query
       | Protocol.Run_rank _ -> `Rank
       | Protocol.Run_count _ -> `Count
-      | Protocol.Get_stats -> assert false);
-    let key = string_of_int (Ifmh.epoch t.index) ^ ":" ^ payload in
+      | Protocol.Get_stats | Protocol.Republish _ -> assert false);
+    (* one snapshot per request: the reply and its cache key always
+       describe the same epoch, even if a swap lands mid-request *)
+    let index = Atomic.get t.index in
+    let key = string_of_int (Ifmh.epoch index) ^ ":" ^ payload in
     (match Cache.find t.cache key with
     | Some bytes ->
       Stats.cache_hit t.stats;
       bytes
     | None ->
       Stats.cache_miss t.stats;
-      let reply = Protocol.handle t.index request in
+      let reply = Protocol.handle index request in
       (match reply with
       | Protocol.Refused _ -> Stats.on_refused t.stats
       | _ -> ());

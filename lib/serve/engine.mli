@@ -14,6 +14,10 @@
       [read_timeout] mid-frame, [write_timeout] per reply;
     - an LRU response cache keyed by [(request bytes, epoch)], sound
       because the index is immutable within an epoch;
+    - live index updates: an owner [Protocol.Republish] frame replays a
+      signed delta and atomically hot-swaps the served index
+      ({!swap_index}), invalidating cached replies for free via the
+      epoch in the cache key;
     - observability ({!Stats}): request counters, exact-integer latency
       histogram, bytes in/out, cache and shed counters, served in-band
       via [Protocol.Get_stats] and as a periodic log line;
@@ -50,6 +54,19 @@ val port : t -> int
 (** The actually bound port (resolves [port = 0]). *)
 
 val stats : t -> Stats.t
+
+val index : t -> Aqv.Ifmh.t
+(** The index currently being served (a snapshot; see {!swap_index}). *)
+
+val swap_index : t -> Aqv.Ifmh.t -> bool
+(** Atomically install a new index for all subsequent requests — the
+    serving half of an owner republish ([Protocol.Republish] frames
+    arrive here after [Aqv.Ifmh.apply_delta]). Returns [false] (and
+    installs nothing) unless the new epoch strictly exceeds the one
+    being served; concurrent swaps serialize, so the served epoch is
+    monotonic. In-flight requests keep the snapshot they started with.
+    The response cache is left alone: keys embed the epoch, so stale
+    entries can never be served at the new epoch. *)
 
 val serve : t -> unit
 (** Accept loop; blocks until {!stop}, then drains and closes the

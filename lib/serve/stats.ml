@@ -1,6 +1,6 @@
 module Histogram = Aqv_util.Histogram
 
-type request_kind = [ `Query | `Rank | `Count | `Stats | `Malformed ]
+type request_kind = [ `Query | `Rank | `Count | `Stats | `Republish | `Malformed ]
 type fault_kind = [ `Delay | `Truncate | `Drop ]
 
 type t = {
@@ -9,6 +9,7 @@ type t = {
   mutable req_rank : int;
   mutable req_count : int;
   mutable req_stats : int;
+  mutable req_republish : int;
   mutable req_malformed : int;
   mutable refused : int;
   mutable bytes_in : int;
@@ -18,6 +19,7 @@ type t = {
   mutable conns_accepted : int;
   mutable conns_refused : int;
   mutable sessions_dropped : int;
+  mutable index_swaps : int;
   mutable faults_delay : int;
   mutable faults_truncate : int;
   mutable faults_drop : int;
@@ -31,6 +33,7 @@ let create () =
     req_rank = 0;
     req_count = 0;
     req_stats = 0;
+    req_republish = 0;
     req_malformed = 0;
     refused = 0;
     bytes_in = 0;
@@ -40,6 +43,7 @@ let create () =
     conns_accepted = 0;
     conns_refused = 0;
     sessions_dropped = 0;
+    index_swaps = 0;
     faults_delay = 0;
     faults_truncate = 0;
     faults_drop = 0;
@@ -57,6 +61,7 @@ let on_request t kind =
       | `Rank -> t.req_rank <- t.req_rank + 1
       | `Count -> t.req_count <- t.req_count + 1
       | `Stats -> t.req_stats <- t.req_stats + 1
+      | `Republish -> t.req_republish <- t.req_republish + 1
       | `Malformed -> t.req_malformed <- t.req_malformed + 1)
 
 let on_refused t = locked t (fun () -> t.refused <- t.refused + 1)
@@ -68,6 +73,7 @@ let cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
 let conn_accepted t = locked t (fun () -> t.conns_accepted <- t.conns_accepted + 1)
 let conn_refused t = locked t (fun () -> t.conns_refused <- t.conns_refused + 1)
 let session_dropped t = locked t (fun () -> t.sessions_dropped <- t.sessions_dropped + 1)
+let index_swapped t = locked t (fun () -> t.index_swaps <- t.index_swaps + 1)
 
 let on_fault t kind =
   locked t (fun () ->
@@ -84,6 +90,7 @@ let to_assoc t =
           ("req_rank", t.req_rank);
           ("req_count", t.req_count);
           ("req_stats", t.req_stats);
+          ("req_republish", t.req_republish);
           ("req_malformed", t.req_malformed);
           ("replies_refused", t.refused);
           ("bytes_in", t.bytes_in);
@@ -93,6 +100,7 @@ let to_assoc t =
           ("conns_accepted", t.conns_accepted);
           ("conns_refused", t.conns_refused);
           ("sessions_dropped", t.sessions_dropped);
+          ("index_swaps", t.index_swaps);
           ("faults_delay", t.faults_delay);
           ("faults_truncate", t.faults_truncate);
           ("faults_drop", t.faults_drop);
@@ -112,7 +120,9 @@ let get t key = match List.assoc_opt key (to_assoc t) with Some v -> v | None ->
 
 let pp ppf t =
   locked t (fun () ->
-      let requests = t.req_query + t.req_rank + t.req_count + t.req_stats in
+      let requests =
+        t.req_query + t.req_rank + t.req_count + t.req_stats + t.req_republish
+      in
       Format.fprintf ppf
         "req=%d (q=%d r=%d c=%d s=%d bad=%d) refused=%d cache=%d/%d conns=%d \
          shed=%d dropped=%d in=%dB out=%dB lat[%a]"

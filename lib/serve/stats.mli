@@ -8,7 +8,7 @@
 
 type t
 
-type request_kind = [ `Query | `Rank | `Count | `Stats | `Malformed ]
+type request_kind = [ `Query | `Rank | `Count | `Stats | `Republish | `Malformed ]
 type fault_kind = [ `Delay | `Truncate | `Drop ]
 
 val create : unit -> t
@@ -27,6 +27,9 @@ val conn_refused : t -> unit
 val session_dropped : t -> unit
 (** Session terminated by timeout, transport error, or malformed
     framing (the cause is logged separately). *)
+
+val index_swapped : t -> unit
+(** A republish installed a new index epoch ({!Engine.swap_index}). *)
 
 val on_fault : t -> fault_kind -> unit
 

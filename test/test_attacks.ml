@@ -294,6 +294,68 @@ let test_mesh_span_tamper () =
       { resp with Mesh.vo = { resp.Mesh.vo with Mesh.links = fake :: rest } }
   | [] -> Alcotest.fail "no links"
 
+(* --------------------- freshness after updates ---------------------- *)
+
+(* After the owner applies an update, the previous version becomes the
+   adversary's best forgery: every byte of it once verified. A client
+   holding the new bundle (min_epoch bumped) must reject it — and a
+   server still answering from the stale subdomain list must not be able
+   to dress it up as the new version even for a client whose minimum
+   epoch still admits the old one. *)
+let expect_reject_as' ctx name expected query resp =
+  match Client.verify ctx query resp with
+  | Ok () -> Alcotest.failf "%s: attack was accepted" name
+  | Error r ->
+    check Alcotest.string name
+      (Client.rejection_to_string expected)
+      (Client.rejection_to_string r)
+
+let test_update_replay scheme () =
+  let t = Lazy.force table in
+  let kp = Lazy.force keypair in
+  let base = Ifmh.build ~scheme ~epoch:1 t kp in
+  let changes =
+    [ Update.Modify (Record.make ~id:0 ~attrs:[| Q.of_int 9; Q.of_int 13 |] ()) ]
+  in
+  let updated = Ifmh.apply kp changes base in
+  let x = Workload.weight_point t (Prng.create 88L) in
+  let l, u = Workload.range_for_result_size t ~x ~size:5 in
+  let query = Query.range ~x ~l ~u in
+  let fresh_ctx = Client.with_min_epoch (ctx ()) (Ifmh.epoch updated) in
+  (* the honest post-update response is accepted at the new minimum *)
+  (match Client.verify fresh_ctx query (Server.answer updated query) with
+  | Ok () -> ()
+  | Error r ->
+    Alcotest.failf "honest post-update rejected: %s" (Client.rejection_to_string r));
+  (* replaying the pre-update response is exactly the freshness attack
+     epochs exist for *)
+  let stale = Server.answer base query in
+  (match Client.verify fresh_ctx query stale with
+  | Ok () -> Alcotest.fail "stale replay accepted"
+  | Error r ->
+    check Alcotest.string "stale replay"
+      (Client.rejection_to_string Client.Stale_epoch)
+      (Client.rejection_to_string r));
+  (* stale content relabelled with the new epoch: the signature no
+     longer covers the claimed digest *)
+  let lenient_ctx = Client.with_min_epoch (ctx ()) (Ifmh.epoch base) in
+  let relabelled = { stale.Server.vo with Vo.epoch = Ifmh.epoch updated } in
+  expect_reject_as' lenient_ctx "stale content, new epoch" Client.Bad_signature query
+    (with_vo stale relabelled);
+  (* even splicing in the *genuine* new-version signature cannot launder
+     the stale subdomain list: the digest commits the constraints and
+     the FMH root, and the update changed them *)
+  let new_signature =
+    match scheme with
+    | Ifmh.One_signature -> Ifmh.root_signature updated
+    | Ifmh.Multi_signature ->
+      let _, leaf = Itree.locate (Ifmh.itree updated) x in
+      Ifmh.leaf_signature updated leaf.Itree.id
+  in
+  expect_reject_as' lenient_ctx "stale content, spliced new signature"
+    Client.Bad_signature query
+    (with_vo stale { relabelled with Vo.signature = new_signature })
+
 (* ------------------------- byte-level fuzzer ------------------------ *)
 
 (* Serialize an honest response, mutate random bytes, and require that
@@ -364,6 +426,13 @@ let () =
         [
           Alcotest.test_case "cross key" `Quick test_cross_key;
           Alcotest.test_case "wrong client domain" `Quick test_wrong_domain_client;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "one-sig stale replay" `Quick
+            (test_update_replay Ifmh.One_signature);
+          Alcotest.test_case "multi-sig stale replay" `Quick
+            (test_update_replay Ifmh.Multi_signature);
         ] );
       ( "mesh",
         [

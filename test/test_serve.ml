@@ -361,6 +361,105 @@ let test_fault_injection_never_corrupts () =
       check Alcotest.bool "cache served hits despite faults" true
         (Stats.get stats "cache_hits" >= 1))
 
+(* ----------------------------- hot swap ----------------------------- *)
+
+let updated_pair () =
+  let changes =
+    [ Update.Modify (Aqv_db.Record.make ~id:0 ~attrs:[| Q.of_int 7; Q.of_int 21 |] ()) ]
+  in
+  (changes, Ifmh.apply (Lazy.force keypair) changes (Lazy.force index))
+
+let ctx_of idx =
+  Protocol.client_ctx (Protocol.bundle_of_index idx (Lazy.force keypair).Signer.public)
+
+let test_swap_index_monotonic () =
+  with_engine (fun t _port ->
+      let _, updated = updated_pair () in
+      check Alcotest.bool "same-epoch swap refused" false
+        (Engine.swap_index t (Lazy.force index));
+      check Alcotest.bool "advancing swap installs" true (Engine.swap_index t updated);
+      check Alcotest.int "served epoch" 4 (Ifmh.epoch (Engine.index t));
+      check Alcotest.bool "regressing swap refused" false
+        (Engine.swap_index t (Lazy.force index)))
+
+let test_republish_over_wire () =
+  let changes, updated = updated_pair () in
+  with_engine (fun t port ->
+      Roundtrip.with_connection ~port (fun fd ->
+          (* warm the cache at the served epoch *)
+          expect_verified_topk 4 (Roundtrip.ask fd (Protocol.Run_query (topk_query 4)));
+          expect_verified_topk 4 (Roundtrip.ask fd (Protocol.Run_query (topk_query 4)));
+          check Alcotest.bool "cache warm" true
+            (Stats.get (Engine.stats t) "cache_hits" >= 1);
+          (* the owner ships the delta in-band *)
+          (match Roundtrip.ask fd (Protocol.Republish (Ifmh.delta ~changes updated)) with
+          | Protocol.Republished e -> check Alcotest.int "served epoch" 4 e
+          | _ -> Alcotest.fail "expected Republished");
+          check Alcotest.bool "swap counted" true
+            (Stats.get (Engine.stats t) "index_swaps" >= 1);
+          check Alcotest.bool "republish counted" true
+            (Stats.get (Engine.stats t) "req_republish" >= 1);
+          (* the very query cached pre-swap now answers from the new
+             index: the epoch in the cache key strands the old entry *)
+          (match Roundtrip.ask fd (Protocol.Run_query (topk_query 4)) with
+          | Protocol.Answer resp ->
+            check Alcotest.int "post-swap epoch" 4 resp.Server.vo.Vo.epoch;
+            check Alcotest.bool "post-swap reply verifies at min_epoch 4" true
+              (Client.accepts (ctx_of updated) (topk_query 4) resp)
+          | _ -> Alcotest.fail "expected Answer");
+          (* replaying the delta cannot move the epoch again *)
+          match Roundtrip.ask fd (Protocol.Republish (Ifmh.delta ~changes updated)) with
+          | Protocol.Refused _ -> ()
+          | _ -> Alcotest.fail "expected Refused on replayed delta"))
+
+(* Concurrent clients across a live swap: every reply must verify
+   against exactly the bundle of the epoch it claims (a pre-swap reply
+   never verifies at the new minimum epoch), no epoch other than the two
+   versions ever appears, and the epoch each connection observes is
+   monotonic. Workers straddle the swap by construction: 20 requests
+   before it, 20 after. *)
+let test_swap_under_concurrent_load () =
+  let changes, updated = updated_pair () in
+  let ctx4 = ctx_of updated in
+  with_engine (fun t port ->
+      let failures = Atomic.make 0 in
+      let swapped = Atomic.make false in
+      let saw_new = Atomic.make 0 in
+      let worker i =
+        Roundtrip.with_connection ~port (fun fd ->
+            let last = ref 0 in
+            for j = 0 to 39 do
+              if j = 20 then await "swap" (fun () -> Atomic.get swapped);
+              let q = topk_query (2 + ((i + j) mod 4)) in
+              match Roundtrip.ask fd (Protocol.Run_query q) with
+              | Protocol.Answer resp ->
+                let e = resp.Server.vo.Vo.epoch in
+                let ok =
+                  match e with
+                  | 3 ->
+                    Client.accepts (Lazy.force ctx) q resp
+                    && not (Client.accepts ctx4 q resp)
+                  | 4 ->
+                    Atomic.incr saw_new;
+                    Client.accepts ctx4 q resp
+                  | _ -> false
+                in
+                if (not ok) || e < !last then Atomic.incr failures;
+                last := max !last e
+              | _ -> Atomic.incr failures
+            done)
+      in
+      let threads = List.init 4 (fun i -> Thread.create worker i) in
+      await "some pre-swap traffic" (fun () ->
+          Stats.get (Engine.stats t) "req_query" >= 8);
+      (match Roundtrip.call ~port (Protocol.Republish (Ifmh.delta ~changes updated)) with
+      | Protocol.Republished 4 -> Atomic.set swapped true
+      | _ -> Alcotest.fail "republish failed");
+      List.iter Thread.join threads;
+      check Alcotest.int "no unverifiable or regressing replies" 0
+        (Atomic.get failures);
+      check Alcotest.bool "post-swap replies observed" true (Atomic.get saw_new >= 1))
+
 let test_graceful_drain () =
   let t = Engine.create { Engine.default_config with Engine.port = 0 } (Lazy.force index) in
   let th = Thread.create Engine.serve t in
@@ -415,5 +514,12 @@ let () =
           Alcotest.test_case "fault injection never corrupts" `Quick
             test_fault_injection_never_corrupts;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+        ] );
+      ( "hot-swap",
+        [
+          Alcotest.test_case "swap is epoch-monotonic" `Quick test_swap_index_monotonic;
+          Alcotest.test_case "republish over the wire" `Quick test_republish_over_wire;
+          Alcotest.test_case "concurrent clients across swap" `Quick
+            test_swap_under_concurrent_load;
         ] );
     ]
