@@ -1,14 +1,25 @@
 (* aqv_net: the paper's three-party model over TCP.
 
      aqv_net publish --records 100 --seed 7 --scheme multi --dir /tmp/aqv
-         owner: build the index, write index.bin (for the server) and
+         owner: build the index, publish it through the durable store
+         (index.bin snapshot + wal.log, both crash-safe) and write
          bundle.bin (template + domain + public key + epoch, for users)
 
      aqv_net serve --dir /tmp/aqv --port 7464
-         storage server: load index.bin, serve framed requests through
-         the concurrent Aqv_serve.Engine (bounded connections, per-
-         connection deadlines, LRU response cache, graceful shutdown
-         on SIGINT/SIGTERM, periodic stats log)
+         storage server: recover the store (validate the snapshot,
+         truncate a torn log tail, replay surviving deltas), then serve
+         framed requests through the concurrent Aqv_serve.Engine
+         (bounded connections, per-connection deadlines, LRU response
+         cache, graceful shutdown on SIGINT/SIGTERM, periodic stats
+         log). Accepted republishes are fsync'd to wal.log before the
+         ack, so a crashed server restarts at the last acked epoch.
+
+     aqv_net fsck --dir /tmp/aqv
+         read-only store health check: validate snapshot + log, dry-run
+         the replay, report epochs and any torn tail
+
+     aqv_net compact --dir /tmp/aqv
+         fold the delta log into a fresh snapshot at the current epoch
 
      aqv_net query --dir /tmp/aqv --port 7464 --type topk --k 5 --at 0.3
          data user: read bundle.bin, send the query, VERIFY the reply
@@ -41,13 +52,16 @@ module Engine = Aqv_serve.Engine
 module Roundtrip = Aqv_serve.Roundtrip
 module Faults = Aqv_serve.Faults
 module Stats = Aqv_serve.Stats
+module Store = Aqv_store.Store
+module Store_error = Aqv_store.Error
 open Aqv
 open Cmdliner
 
+(* Every file this CLI publishes goes through the store's atomic
+   temp+rename writer: a crash mid-write can never leave a torn
+   index.bin or bundle.bin for a later [serve --dir] to trip over. *)
 let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+  Aqv_store.Ioutil.atomic_write_file ~path contents
 
 let read_file path =
   let ic = open_in_bin path in
@@ -76,22 +90,31 @@ let setup_logging () =
 
 (* ------------------------------ publish ----------------------------- *)
 
-let run_publish n seed scheme epoch dir =
+(* Build + publish split so selftest can keep the owner-side index (and
+   keypair) in hand for the republish round. *)
+let build_index n seed scheme epoch =
   let table = Workload.lines_1d ~n (Prng.create (Int64.of_int seed)) in
   let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
-  let scheme = match scheme with `One -> Ifmh.One_signature | `Multi -> Ifmh.Multi_signature in
   let index = Ifmh.build ~epoch ~scheme table keypair in
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let w = Wire.writer () in
-  Ifmh.save w index;
-  write_file (Filename.concat dir "index.bin") (Wire.contents w);
+  (keypair, index)
+
+let publish_to dir index keypair =
+  let store = Store.publish ~dir index in
+  Store.close store;
   let wb = Wire.writer () in
   Protocol.encode_bundle wb (Protocol.bundle_of_index index keypair.Signer.public);
   write_file (Filename.concat dir "bundle.bin") (Wire.contents wb);
+  String.length (Wire.contents wb)
+
+let run_publish n seed scheme epoch dir =
+  let scheme = match scheme with `One -> Ifmh.One_signature | `Multi -> Ifmh.Multi_signature in
+  let keypair, index = build_index n seed scheme epoch in
+  let bundle_bytes = publish_to dir index keypair in
   Printf.printf "published: %d records, %s, epoch %d\n" n (Ifmh.scheme_name scheme) epoch;
-  Printf.printf "  index.bin  %d bytes (for the storage server)\n"
-    (String.length (Wire.contents w));
-  Printf.printf "  bundle.bin %d bytes (for data users)\n" (String.length (Wire.contents wb))
+  Printf.printf "  index.bin  %d bytes (checksummed snapshot, for the storage server)\n"
+    (Aqv_store.Ioutil.file_size (Store.snapshot_path dir));
+  Printf.printf "  wal.log    fresh (accepted republishes land here)\n";
+  Printf.printf "  bundle.bin %d bytes (for data users)\n" bundle_bytes
 
 (* ------------------------------- serve ------------------------------ *)
 
@@ -113,22 +136,40 @@ let engine_config port once max_conns cache_capacity idle_timeout read_timeout
 let run_serve dir port once max_conns cache_capacity idle_timeout read_timeout
     write_timeout stats_interval fault_spec =
   setup_logging ();
-  let index = Ifmh.load (Wire.reader (read_file (Filename.concat dir "index.bin"))) in
-  let config =
-    engine_config port once max_conns cache_capacity idle_timeout read_timeout
-      write_timeout stats_interval fault_spec
-  in
-  let engine = Engine.create config index in
-  let stop _ = Engine.stop engine in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)\n%!"
-    (Table.size (Ifmh.table index))
-    (Engine.port engine)
-    (if once then " (single connection)" else "")
-    config.Engine.max_conns config.Engine.cache_capacity;
-  Engine.serve engine
+  match Store.open_dir dir with
+  | Error e ->
+    Printf.eprintf "aqv_net: cannot recover store in %s: %s\n" dir
+      (Store_error.to_string e);
+    exit 1
+  | Ok (store, index, recovery) ->
+    let config =
+      {
+        (engine_config port once max_conns cache_capacity idle_timeout
+           read_timeout write_timeout stats_interval fault_spec)
+        with
+        Engine.store = Some store;
+      }
+    in
+    let engine = Engine.create config index in
+    Stats.recovered (Engine.stats engine)
+      ~torn_tail:(recovery.Store.torn_tail_bytes > 0);
+    let stop _ = Engine.stop engine in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.printf
+      "recovered epoch %d (snapshot epoch %d, %d delta(s) replayed, %d \
+       skipped, %d torn byte(s) truncated)\n"
+      recovery.Store.final_epoch recovery.Store.snapshot_epoch
+      recovery.Store.replayed recovery.Store.skipped
+      recovery.Store.torn_tail_bytes;
+    Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)\n%!"
+      (Table.size (Ifmh.table index))
+      (Engine.port engine)
+      (if once then " (single connection)" else "")
+      config.Engine.max_conns config.Engine.cache_capacity;
+    Engine.serve engine;
+    Store.close store
 
 (* ------------------------------- query ------------------------------ *)
 
@@ -165,6 +206,40 @@ let run_stats port =
     List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) kvs
   | Protocol.Refused m -> Printf.printf "server refused: %s\n" m
   | _ -> print_endline "protocol violation"
+
+(* --------------------------- fsck / compact ------------------------- *)
+
+let run_fsck dir =
+  setup_logging ();
+  match Store.fsck dir with
+  | Error e ->
+    Printf.printf "fsck %s: FAILED\n  %s\n" dir (Store_error.to_string e);
+    exit 1
+  | Ok r ->
+    Printf.printf "fsck %s: OK\n" dir;
+    Printf.printf "  scheme          %s\n" (Ifmh.scheme_name r.Store.r_scheme);
+    Printf.printf "  snapshot        epoch %d, %d bytes, %d leaves\n"
+      r.Store.r_snapshot_epoch r.Store.r_snapshot_bytes r.Store.r_n_leaves;
+    Printf.printf "  log             %d frame(s): %d replayable, %d stale\n"
+      r.Store.r_log_frames r.Store.r_replayed r.Store.r_skipped;
+    Printf.printf "  final epoch     %d\n" r.Store.r_final_epoch;
+    if r.Store.r_torn_tail_bytes > 0 then
+      Printf.printf "  torn tail       %d byte(s), truncated on next serve\n"
+        r.Store.r_torn_tail_bytes
+
+let run_compact dir =
+  setup_logging ();
+  match Store.open_dir dir with
+  | Error e ->
+    Printf.eprintf "aqv_net: cannot recover store in %s: %s\n" dir
+      (Store_error.to_string e);
+    exit 1
+  | Ok (store, index, recovery) ->
+    let frames = Store.log_frames store in
+    Store.compact store index;
+    Store.close store;
+    Printf.printf "compacted %s: snapshot now at epoch %d (%d log frame(s) folded in)\n"
+      dir recovery.Store.final_epoch frames
 
 (* ------------------------------- bench ------------------------------ *)
 
@@ -253,6 +328,56 @@ let run_bench records seed clients requests cache_capacity verify =
 
 (* ------------------------------ selftest ---------------------------- *)
 
+(* Fork a child that recovers the store in [dir] and serves it on an
+   ephemeral port (written to [port_file] for the parent). The child
+   exits 0 after a graceful drain, 1 on any setup failure. *)
+let selftest_server dir port_file =
+  (* the child inherits stdio buffers; flush so its exit can't replay
+     the parent's pending output *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       match Store.open_dir dir with
+       | Error e ->
+         Printf.eprintf "selftest server: %s\n" (Store_error.to_string e);
+         exit 1
+       | Ok (store, index, recovery) ->
+         let config =
+           {
+             (engine_config 0 false 16 256 10. 5. 5. 0. None) with
+             Engine.store = Some store;
+           }
+         in
+         let engine = Engine.create config index in
+         Stats.recovered (Engine.stats engine)
+           ~torn_tail:(recovery.Store.torn_tail_bytes > 0);
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Engine.stop engine));
+         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+         write_file port_file (string_of_int (Engine.port engine));
+         Engine.serve engine;
+         Store.close store
+     with _ -> exit 1);
+    exit 0
+  | pid -> pid
+
+(* no fixed sleep: poll for the child's port file, bounded *)
+let await_port port_file =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec poll () =
+    match int_of_string (String.trim (read_file port_file)) with
+    | port -> port
+    | exception _ ->
+      if Unix.gettimeofday () > deadline then
+        failwith "selftest: server never published its port"
+      else begin
+        Unix.sleepf 0.02;
+        poll ()
+      end
+  in
+  poll ()
+
 let run_selftest () =
   setup_logging ();
   (* The OCaml 5 runtime forbids Unix.fork in any process that has ever
@@ -264,108 +389,112 @@ let run_selftest () =
   let dir = Filename.temp_file "aqv" "net" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
-  run_publish 60 42 `Multi 1 dir;
+  let keypair, index = build_index 60 42 Ifmh.Multi_signature 1 in
+  let _bundle_bytes = publish_to dir index keypair in
+  Printf.printf "published: 60 records, multi-signature, epoch 1 -> %s\n" dir;
   flush stdout;
   let port_file = Filename.concat dir "port" in
-  match Unix.fork () with
-  | 0 ->
-    (* child: full concurrent engine on an ephemeral port (written to a
-       file for the parent); exits 0 after a graceful drain *)
-    (try
-       let index = Ifmh.load (Wire.reader (read_file (Filename.concat dir "index.bin"))) in
-       let config = engine_config 0 false 16 256 10. 5. 5. 0. None in
-       let engine = Engine.create config index in
-       Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Engine.stop engine));
-       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-       write_file port_file (string_of_int (Engine.port engine));
-       Engine.serve engine
-     with _ -> exit 1);
-    exit 0
-  | pid ->
-    (* no fixed sleep: poll for the child's port file, bounded *)
-    let port =
-      let deadline = Unix.gettimeofday () +. 10. in
-      let rec poll () =
-        match int_of_string (String.trim (read_file port_file)) with
-        | port -> port
-        | exception _ ->
-          if Unix.gettimeofday () > deadline then
-            failwith "selftest: server never published its port"
-          else begin
-            Unix.sleepf 0.02;
-            poll ()
-          end
-      in
-      poll ()
-    in
-    let bundle =
-      Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin")))
-    in
-    let ctx = Protocol.client_ctx bundle in
-    let failures = ref 0 in
-    let expect_verified label = function
-      | true -> Printf.printf "  %-32s ok\n" label
-      | false ->
-        incr failures;
-        Printf.printf "  %-32s FAILED\n" label
-    in
-    (* Roundtrip retries until the freshly bound server accepts *)
-    let ask request = Roundtrip.call ~port request in
-    let x = [| Q.of_decimal "0.37" |] in
-    (* top-k over the wire — twice, so the second hit comes from the
-       response cache and must still verify bit-for-bit *)
-    let q1 = Query.top_k ~x ~k:5 in
-    List.iter
-      (fun label ->
-        match ask (Protocol.Run_query q1) with
-        | Protocol.Answer resp -> expect_verified label (Client.accepts ctx q1 resp)
-        | _ -> expect_verified label false)
-      [ "top-5 over TCP"; "top-5 again (cached)" ];
-    (* range *)
-    let q2 = Query.range ~x ~l:(Q.of_int 100) ~u:(Q.of_int 600) in
-    (match ask (Protocol.Run_query q2) with
-    | Protocol.Answer resp ->
-      expect_verified "range over TCP" (Client.accepts ctx q2 resp)
-    | _ -> expect_verified "range over TCP" false);
-    (* rank *)
-    (match ask (Protocol.Run_rank { x; record_id = 7 }) with
-    | Protocol.Rank_answer (Some resp) ->
-      expect_verified "rank over TCP"
-        (Result.is_ok (Client.verify_rank ctx ~x ~record_id:7 resp))
-    | _ -> expect_verified "rank over TCP" false);
-    (* count *)
-    let l = Q.of_int 100 and u = Q.of_int 600 in
-    (match ask (Protocol.Run_count { x; l; u }) with
-    | Protocol.Count_answer resp ->
-      (match Count.verify ctx ~x ~l ~u resp with
-      | Ok k ->
-        Printf.printf "  %-32s ok (count = %d)\n" "count over TCP" k
-      | Error _ -> expect_verified "count over TCP" false)
-    | _ -> expect_verified "count over TCP" false);
-    (* out-of-domain input must be refused, not crash the server *)
-    (match ask (Protocol.Run_query (Query.top_k ~x:[| Q.of_int 9 |] ~k:1)) with
-    | Protocol.Refused _ -> Printf.printf "  %-32s ok\n" "out-of-domain refused"
-    | _ -> expect_verified "out-of-domain refused" false);
-    (* in-band stats must reflect the workload above *)
-    (match ask Protocol.Get_stats with
-    | Protocol.Stats kvs ->
-      let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
-      expect_verified "stats: requests counted"
-        (get "req_query" >= 3 && get "req_rank" >= 1 && get "req_count" >= 1);
-      expect_verified "stats: cache hit+miss"
-        (get "cache_hits" >= 1 && get "cache_misses" >= 1);
-      expect_verified "stats: latency recorded" (get "latency_us_count" >= 5)
-    | _ -> expect_verified "stats over TCP" false);
-    (* graceful shutdown: SIGTERM must drain and exit 0 *)
-    Unix.kill pid Sys.sigterm;
-    (match Unix.waitpid [] pid with
-    | _, Unix.WEXITED 0 -> Printf.printf "  %-32s ok\n" "graceful shutdown (SIGTERM)"
-    | _ -> expect_verified "graceful shutdown (SIGTERM)" false);
-    if !failures = 0 then print_endline "selftest: ALL OK"
-    else begin
-      Printf.printf "selftest: %d failure(s)\n" !failures;
-      exit 1
-    end
+  let pid = selftest_server dir port_file in
+  let port = await_port port_file in
+  let bundle =
+    Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin")))
+  in
+  let ctx = Protocol.client_ctx bundle in
+  let failures = ref 0 in
+  let expect_verified label = function
+    | true -> Printf.printf "  %-32s ok\n" label
+    | false ->
+      incr failures;
+      Printf.printf "  %-32s FAILED\n" label
+  in
+  (* Roundtrip retries until the freshly bound server accepts *)
+  let ask request = Roundtrip.call ~port request in
+  let x = [| Q.of_decimal "0.37" |] in
+  (* top-k over the wire — twice, so the second hit comes from the
+     response cache and must still verify bit-for-bit *)
+  let q1 = Query.top_k ~x ~k:5 in
+  List.iter
+    (fun label ->
+      match ask (Protocol.Run_query q1) with
+      | Protocol.Answer resp -> expect_verified label (Client.accepts ctx q1 resp)
+      | _ -> expect_verified label false)
+    [ "top-5 over TCP"; "top-5 again (cached)" ];
+  (* range *)
+  let q2 = Query.range ~x ~l:(Q.of_int 100) ~u:(Q.of_int 600) in
+  (match ask (Protocol.Run_query q2) with
+  | Protocol.Answer resp ->
+    expect_verified "range over TCP" (Client.accepts ctx q2 resp)
+  | _ -> expect_verified "range over TCP" false);
+  (* rank *)
+  (match ask (Protocol.Run_rank { x; record_id = 7 }) with
+  | Protocol.Rank_answer (Some resp) ->
+    expect_verified "rank over TCP"
+      (Result.is_ok (Client.verify_rank ctx ~x ~record_id:7 resp))
+  | _ -> expect_verified "rank over TCP" false);
+  (* count *)
+  let l = Q.of_int 100 and u = Q.of_int 600 in
+  (match ask (Protocol.Run_count { x; l; u }) with
+  | Protocol.Count_answer resp ->
+    (match Count.verify ctx ~x ~l ~u resp with
+    | Ok k ->
+      Printf.printf "  %-32s ok (count = %d)\n" "count over TCP" k
+    | Error _ -> expect_verified "count over TCP" false)
+  | _ -> expect_verified "count over TCP" false);
+  (* out-of-domain input must be refused, not crash the server *)
+  (match ask (Protocol.Run_query (Query.top_k ~x:[| Q.of_int 9 |] ~k:1)) with
+  | Protocol.Refused _ -> Printf.printf "  %-32s ok\n" "out-of-domain refused"
+  | _ -> expect_verified "out-of-domain refused" false);
+  (* in-band stats must reflect the workload above *)
+  (match ask Protocol.Get_stats with
+  | Protocol.Stats kvs ->
+    let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
+    expect_verified "stats: requests counted"
+      (get "req_query" >= 3 && get "req_rank" >= 1 && get "req_count" >= 1);
+    expect_verified "stats: cache hit+miss"
+      (get "cache_hits" >= 1 && get "cache_misses" >= 1);
+    expect_verified "stats: latency recorded" (get "latency_us_count" >= 5)
+  | _ -> expect_verified "stats over TCP" false);
+  (* durability: republish epoch 2, confirm it hit the log, then kill
+     the server without mercy and restart from the store — recovery
+     must land on the acked epoch, and the client insists on it *)
+  let changes =
+    [ Update.Modify (Record.make ~id:0 ~attrs:[| Q.of_int 7; Q.of_int 21 |] ()) ]
+  in
+  let index2 = Ifmh.apply keypair changes index in
+  (match ask (Protocol.Republish (Ifmh.delta ~changes index2)) with
+  | Protocol.Republished 2 -> Printf.printf "  %-32s ok\n" "republish acked (epoch 2)"
+  | _ -> expect_verified "republish acked (epoch 2)" false);
+  (match ask Protocol.Get_stats with
+  | Protocol.Stats kvs ->
+    let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
+    expect_verified "stats: delta logged before ack" (get "log_appends" >= 1)
+  | _ -> expect_verified "stats: delta logged before ack" false);
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (try Sys.remove port_file with Sys_error _ -> ());
+  let pid2 = selftest_server dir port_file in
+  let port2 = await_port port_file in
+  let ask2 request = Roundtrip.call ~port:port2 request in
+  let ctx2 = Client.with_min_epoch ctx 2 in
+  (match ask2 (Protocol.Run_query q1) with
+  | Protocol.Answer resp ->
+    expect_verified "kill -9, restart: epoch 2 served" (Client.accepts ctx2 q1 resp)
+  | _ -> expect_verified "kill -9, restart: epoch 2 served" false);
+  (match ask2 Protocol.Get_stats with
+  | Protocol.Stats kvs ->
+    let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
+    expect_verified "stats: recovery counted" (get "recoveries" = 1)
+  | _ -> expect_verified "stats: recovery counted" false);
+  (* graceful shutdown: SIGTERM must drain and exit 0 *)
+  Unix.kill pid2 Sys.sigterm;
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> Printf.printf "  %-32s ok\n" "graceful shutdown (SIGTERM)"
+  | _ -> expect_verified "graceful shutdown (SIGTERM)" false);
+  if !failures = 0 then print_endline "selftest: ALL OK"
+  else begin
+    Printf.printf "selftest: %d failure(s)\n" !failures;
+    exit 1
+  end
 
 (* ----------------------------- cmdliner ----------------------------- *)
 
@@ -456,6 +585,18 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Dump the server's observability counters.")
     Term.(const run_stats $ port_t)
 
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Validate the durable store (snapshot + log) without modifying it.")
+    Term.(const run_fsck $ dir_t)
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Fold the delta log into a fresh snapshot at the current epoch.")
+    Term.(const run_compact $ dir_t)
+
 let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
@@ -473,4 +614,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ publish_cmd; serve_cmd; query_cmd; stats_cmd; bench_cmd; selftest_cmd ]))
+          [
+            publish_cmd;
+            serve_cmd;
+            query_cmd;
+            stats_cmd;
+            fsck_cmd;
+            compact_cmd;
+            bench_cmd;
+            selftest_cmd;
+          ]))

@@ -18,6 +18,7 @@ type config = {
   drain_timeout : float;
   once : bool;
   faults : Faults.t option;
+  store : Aqv_store.Store.t option;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     drain_timeout = 5.;
     once = false;
     faults = None;
+    store = None;
   }
 
 type t = {
@@ -44,6 +46,7 @@ type t = {
   cache : Cache.t;
   stopped : bool Atomic.t;
   mu : Mutex.t;
+  republish_mu : Mutex.t;
   mutable active : int;
 }
 
@@ -66,6 +69,7 @@ let create config index =
     cache = Cache.create ~capacity:config.cache_capacity;
     stopped = Atomic.make false;
     mu = Mutex.create ();
+    republish_mu = Mutex.create ();
     active = 0;
   }
 
@@ -113,22 +117,58 @@ let reply_bytes_for t payload =
     Stats.on_request t.stats `Stats;
     encode_reply_bytes (Protocol.Stats (Stats.to_assoc t.stats))
   | Protocol.Republish delta ->
-    (* uncached, like Get_stats: a republish mutates serving state *)
+    (* uncached, like Get_stats: a republish mutates serving state.
+       The whole accept path serializes under [republish_mu] so the
+       durability order is unambiguous: replay the delta, append+fsync
+       it to the store's log, and only then swap and ack — a crash at
+       any point before the ack leaves a log the recovery path replays
+       to at most the acked epoch (durable-before-ack). A store append
+       failure refuses the republish without touching serving state. *)
     Stats.on_request t.stats `Republish;
+    let refuse msg =
+      Stats.on_refused t.stats;
+      Protocol.Refused msg
+    in
     let reply =
-      match Ifmh.apply_delta delta (Atomic.get t.index) with
-      | exception (Failure msg | Invalid_argument msg) ->
-        Stats.on_refused t.stats;
-        Protocol.Refused msg
-      | index' ->
-        if swap_index t index' then begin
-          Log.info (fun m -> m "republished: now serving epoch %d" (Ifmh.epoch index'));
-          Protocol.Republished (Ifmh.epoch index')
-        end
-        else begin
-          Stats.on_refused t.stats;
-          Protocol.Refused "Engine: republish does not advance the epoch"
-        end
+      Mutex.lock t.republish_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.republish_mu)
+        (fun () ->
+          let base = Atomic.get t.index in
+          match Ifmh.apply_delta delta base with
+          | exception (Failure msg | Invalid_argument msg) -> refuse msg
+          | index' -> (
+            if Ifmh.epoch index' <= Ifmh.epoch base then
+              refuse "Engine: republish does not advance the epoch"
+            else
+              match
+                Option.iter
+                  (fun s -> Aqv_store.Store.append s ~base delta)
+                  t.config.store
+              with
+              | exception Aqv_store.Error.Error e ->
+                refuse ("Store: " ^ Aqv_store.Error.to_string e)
+              | () ->
+                Option.iter (fun _ -> Stats.log_appended t.stats) t.config.store;
+                ignore (swap_index t index');
+                Log.info (fun m ->
+                    m "republished: now serving epoch %d" (Ifmh.epoch index'));
+                (* Compaction failure is not a republish failure: the
+                   delta is already durable in the log. *)
+                (try
+                   Option.iter
+                     (fun s ->
+                       if Aqv_store.Store.maybe_compact s index' then begin
+                         Stats.compacted t.stats;
+                         Log.info (fun m ->
+                             m "store compacted at epoch %d" (Ifmh.epoch index'))
+                       end)
+                     t.config.store
+                 with Aqv_store.Error.Error e ->
+                   Log.warn (fun m ->
+                       m "store compaction failed: %s"
+                         (Aqv_store.Error.to_string e)));
+                Protocol.Republished (Ifmh.epoch index')))
     in
     encode_reply_bytes reply
   | request ->

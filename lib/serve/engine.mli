@@ -24,7 +24,12 @@
     - graceful shutdown: {!stop} stops accepting and drains in-flight
       sessions (bounded by [drain_timeout]);
     - deterministic fault injection ({!Faults}) on the reply path, for
-      robustness tests. *)
+      robustness tests;
+    - optional durability: with a [store], every accepted republish is
+      appended and fsync'd to the write-ahead log {e before} the
+      [Republished] ack goes out (durable-before-ack) — an append
+      failure yields [Refused] and leaves serving state untouched —
+      and the store compacts under its policy as the log grows. *)
 
 type config = {
   port : int;  (** 0 picks an ephemeral port; see {!port} *)
@@ -38,11 +43,14 @@ type config = {
   drain_timeout : float;  (** max seconds {!serve} waits for drain on stop *)
   once : bool;  (** serve a single connection, then return *)
   faults : Faults.t option;  (** reply-path fault injection (tests) *)
+  store : Aqv_store.Store.t option;
+      (** durable store: republishes are logged before the ack. The
+          engine borrows the handle; the caller closes it. *)
 }
 
 val default_config : config
 (** Port 7464, 64 connections, 10 s idle, 5 s read, 5 s write, 1024
-    cache entries, no periodic log, 5 s drain, no faults. *)
+    cache entries, no periodic log, 5 s drain, no faults, no store. *)
 
 type t
 

@@ -20,6 +20,10 @@ type t = {
   mutable conns_refused : int;
   mutable sessions_dropped : int;
   mutable index_swaps : int;
+  mutable log_appends : int;
+  mutable recoveries : int;
+  mutable torn_tail_truncations : int;
+  mutable compactions : int;
   mutable faults_delay : int;
   mutable faults_truncate : int;
   mutable faults_drop : int;
@@ -44,6 +48,10 @@ let create () =
     conns_refused = 0;
     sessions_dropped = 0;
     index_swaps = 0;
+    log_appends = 0;
+    recoveries = 0;
+    torn_tail_truncations = 0;
+    compactions = 0;
     faults_delay = 0;
     faults_truncate = 0;
     faults_drop = 0;
@@ -74,6 +82,14 @@ let conn_accepted t = locked t (fun () -> t.conns_accepted <- t.conns_accepted +
 let conn_refused t = locked t (fun () -> t.conns_refused <- t.conns_refused + 1)
 let session_dropped t = locked t (fun () -> t.sessions_dropped <- t.sessions_dropped + 1)
 let index_swapped t = locked t (fun () -> t.index_swaps <- t.index_swaps + 1)
+let log_appended t = locked t (fun () -> t.log_appends <- t.log_appends + 1)
+let compacted t = locked t (fun () -> t.compactions <- t.compactions + 1)
+
+let recovered t ~torn_tail =
+  locked t (fun () ->
+      t.recoveries <- t.recoveries + 1;
+      if torn_tail then
+        t.torn_tail_truncations <- t.torn_tail_truncations + 1)
 
 let on_fault t kind =
   locked t (fun () ->
@@ -101,6 +117,10 @@ let to_assoc t =
           ("conns_refused", t.conns_refused);
           ("sessions_dropped", t.sessions_dropped);
           ("index_swaps", t.index_swaps);
+          ("log_appends", t.log_appends);
+          ("recoveries", t.recoveries);
+          ("torn_tail_truncations", t.torn_tail_truncations);
+          ("compactions", t.compactions);
           ("faults_delay", t.faults_delay);
           ("faults_truncate", t.faults_truncate);
           ("faults_drop", t.faults_drop);

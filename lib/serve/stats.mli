@@ -31,6 +31,17 @@ val session_dropped : t -> unit
 val index_swapped : t -> unit
 (** A republish installed a new index epoch ({!Engine.swap_index}). *)
 
+val log_appended : t -> unit
+(** A delta frame was fsync'd to the write-ahead log before the ack. *)
+
+val recovered : t -> torn_tail:bool -> unit
+(** The serving index was recovered from a durable store at startup;
+    [torn_tail] records whether a partial trailing log frame had to be
+    truncated. *)
+
+val compacted : t -> unit
+(** The store rewrote its snapshot and reset the log. *)
+
 val on_fault : t -> fault_kind -> unit
 
 val to_assoc : t -> (string * int) list

@@ -1,0 +1,62 @@
+(** Typed recovery and IO errors.
+
+    Everything that can go wrong between the disk and a served index is
+    one of these constructors — recovery never surfaces a bare
+    [Failure _], so callers (and the attack tests) can distinguish a
+    forged or corrupted artifact from an operational fault. *)
+
+type t =
+  | Bad_magic of { file : string; found : string }
+      (** The file does not start with the expected format tag. *)
+  | Checksum_mismatch of { file : string; what : string }
+      (** A fully-present payload fails its CRC: corruption, not a torn
+          tail. [what] names the region (snapshot payload, log frame k). *)
+  | Truncated of { file : string; reason : string }
+      (** The snapshot is structurally incomplete (short read / torn
+          publish that somehow bypassed the atomic rename). *)
+  | Decode_failed of { file : string; reason : string }
+      (** Checksummed bytes that nevertheless fail to parse — a
+          write-side bug or a forgery with a recomputed CRC. *)
+  | Header_mismatch of { file : string; reason : string }
+      (** The snapshot header (scheme / epoch / n_leaves) disagrees with
+          the index image it frames. *)
+  | Epoch_gap of {
+      file : string;
+      frame : int;
+      base_epoch : int;
+      current_epoch : int;
+    }
+      (** A log frame's base epoch jumps ahead of the recovered state:
+          the log is not a continuation of this snapshot. *)
+  | Replay_failed of { file : string; frame : int; reason : string }
+      (** A checksummed frame decoded but [Ifmh.apply_delta] rejected
+          it — e.g. a spliced frame from another database. *)
+  | Io_error of { file : string; reason : string }
+      (** The operating system said no (including injected faults). *)
+
+exception Error of t
+
+let to_string = function
+  | Bad_magic { file; found } ->
+      Printf.sprintf "%s: bad magic %S" file found
+  | Checksum_mismatch { file; what } ->
+      Printf.sprintf "%s: checksum mismatch in %s" file what
+  | Truncated { file; reason } -> Printf.sprintf "%s: truncated (%s)" file reason
+  | Decode_failed { file; reason } ->
+      Printf.sprintf "%s: undecodable contents (%s)" file reason
+  | Header_mismatch { file; reason } ->
+      Printf.sprintf "%s: header mismatch (%s)" file reason
+  | Epoch_gap { file; frame; base_epoch; current_epoch } ->
+      Printf.sprintf
+        "%s: epoch gap at frame %d (frame base %d, recovered state at %d)"
+        file frame base_epoch current_epoch
+  | Replay_failed { file; frame; reason } ->
+      Printf.sprintf "%s: replay of frame %d failed (%s)" file frame reason
+  | Io_error { file; reason } -> Printf.sprintf "%s: %s" file reason
+
+let fail e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Aqv_store.Error.Error: " ^ to_string e)
+    | _ -> None)

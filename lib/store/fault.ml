@@ -1,0 +1,46 @@
+(** One-shot fault injection for crash and corruption testing.
+
+    Mirrors [Aqv_serve.Faults] in spirit, but stores want {e precise}
+    faults ("the next append tears after 5 bytes"), not a stochastic
+    permille — recovery tests need to know exactly what the disk looks
+    like afterwards. A fault is armed once and consumed by the next IO
+    operation that honors it. *)
+
+type action =
+  | Fail_write  (** the next append raises before any byte reaches disk *)
+  | Torn_write of int
+      (** only the first [n] bytes of the next frame are written (then
+          the append raises, as a crashed process would) *)
+  | Bit_flip of int
+      (** bit [k] of the next frame is flipped before writing; the write
+          itself "succeeds" — silent media corruption *)
+  | Short_read of int
+      (** the next file read returns at most [n] bytes *)
+
+type t = { mutable armed : action option }
+
+let create () = { armed = None }
+let arm t a = t.armed <- Some a
+
+let take t =
+  match t.armed with
+  | None -> None
+  | Some _ as a ->
+      t.armed <- None;
+      a
+
+(* Peek-and-consume only when the predicate matches: an armed
+   [Short_read] must survive an intervening append, and vice versa. *)
+let take_if t p =
+  match t.armed with
+  | Some a when p a ->
+      t.armed <- None;
+      Some a
+  | _ -> None
+
+let is_write = function
+  | Fail_write | Torn_write _ | Bit_flip _ -> true
+  | Short_read _ -> false
+
+let take_write t = take_if t is_write
+let take_read t = take_if t (fun a -> not (is_write a))

@@ -1,0 +1,57 @@
+(** Small file-IO helpers shared by the snapshot store and the log. *)
+
+let read_file ?fault path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      match Option.bind fault Fault.take_read with
+      | Some (Fault.Short_read k) when k < n -> String.sub data 0 k
+      | _ -> data)
+
+let fsync_dir dir =
+  (* Best effort: the rename itself is atomic; the directory fsync only
+     narrows the window in which the new name could be lost on power
+     failure. Some filesystems refuse fsync on a directory fd. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let atomic_write_file ~path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    try Filename.temp_file ~temp_dir:dir ".aqv-" ".part"
+    with Sys_error m -> Error.fail (Error.Io_error { file = path; reason = m })
+  in
+  (* temp_file creates 0600; published artifacts should be readable *)
+  (try Unix.chmod tmp 0o644 with Unix.Unix_error _ -> ());
+  let committed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      (match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error.fail
+            (Error.Io_error { file = path; reason = Unix.error_message e })
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let n = String.length contents in
+              let w = Unix.write_substring fd contents 0 n in
+              if w <> n then
+                Error.fail
+                  (Error.Io_error { file = path; reason = "short write" });
+              Unix.fsync fd));
+      (match Sys.rename tmp path with
+      | exception Sys_error m ->
+          Error.fail (Error.Io_error { file = path; reason = m })
+      | () -> committed := true);
+      fsync_dir dir)
+
+let file_size path = (Unix.stat path).Unix.st_size

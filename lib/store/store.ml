@@ -1,0 +1,195 @@
+module Wire = Aqv_util.Wire
+module Ifmh = Aqv.Ifmh
+
+type policy = { max_log_frames : int; max_log_bytes : int }
+
+let default_policy = { max_log_frames = 64; max_log_bytes = 16 * 1024 * 1024 }
+
+type t = {
+  dir : string;
+  policy : policy;
+  fault : Fault.t;
+  mutable wal : Wal.t;
+}
+
+type recovery = {
+  snapshot_epoch : int;
+  final_epoch : int;
+  replayed : int;
+  skipped : int;
+  torn_tail_bytes : int;
+}
+
+let snapshot_path dir = Filename.concat dir "index.bin"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let publish ?(policy = default_policy) ~dir index =
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> Error.fail (Error.Io_error { file = dir; reason = "not a directory" })
+  | exception Sys_error _ -> (
+      match Unix.mkdir dir 0o755 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error.fail (Error.Io_error { file = dir; reason = Unix.error_message e })
+      | () -> ()));
+  Snapshot.write ~path:(snapshot_path dir) index;
+  let wal = Wal.create ~path:(wal_path dir) in
+  { dir; policy; fault = Fault.create (); wal }
+
+(* Replay the validated log over the snapshot image. Frames whose base
+   epoch is below the current one are leftovers of an interrupted
+   compaction (snapshot rewritten, log not yet reset) and are skipped;
+   a frame that jumps ahead means the log does not continue this
+   snapshot and recovery must refuse. *)
+let replay ?pool ~file index0 frames =
+  let rec go i index replayed skipped = function
+    | [] -> Ok (index, replayed, skipped)
+    | (f : Wal.frame) :: rest -> (
+        let cur = Ifmh.epoch index in
+        if f.base_epoch < cur then go (i + 1) index replayed (skipped + 1) rest
+        else if f.base_epoch > cur then
+          Error
+            (Error.Epoch_gap
+               { file; frame = i; base_epoch = f.base_epoch; current_epoch = cur })
+        else
+          match
+            let d = Ifmh.decode_delta (Wire.reader f.delta) in
+            Ifmh.apply_delta ?pool d index
+          with
+          | exception Failure m ->
+              Error (Error.Replay_failed { file; frame = i; reason = m })
+          | exception Invalid_argument m ->
+              Error (Error.Replay_failed { file; frame = i; reason = m })
+          | index' -> go (i + 1) index' (replayed + 1) skipped rest)
+  in
+  go 0 index0 0 0 frames
+
+let open_dir ?pool ?(policy = default_policy) ?(fault = Fault.create ()) dir =
+  match Snapshot.read ?pool ~fault ~path:(snapshot_path dir) () with
+  | Error e -> Error e
+  | Ok (index0, hdr) -> (
+      let wp = wal_path dir in
+      let fresh torn =
+        match Wal.create ~path:wp with
+        | exception Error.Error e -> Error e
+        | wal ->
+            Ok
+              ( { dir; policy; fault; wal },
+                index0,
+                {
+                  snapshot_epoch = hdr.epoch;
+                  final_epoch = hdr.epoch;
+                  replayed = 0;
+                  skipped = 0;
+                  torn_tail_bytes = torn;
+                } )
+      in
+      if not (Sys.file_exists wp) then fresh 0
+      else
+        match Wal.scan ~fault ~path:wp () with
+        | Error e -> Error e
+        | Ok sc ->
+            if sc.valid_bytes < 8 then
+              (* Interrupted create: even the magic is torn. *)
+              fresh sc.valid_bytes
+            else
+              match
+                if sc.torn_bytes > 0 then Wal.truncate ~path:wp sc.valid_bytes
+              with
+              | exception Error.Error e -> Error e
+              | () -> (
+              match replay ?pool ~file:wp index0 sc.scanned with
+              | Error e -> Error e
+              | Ok (index, replayed, skipped) -> (
+                  match
+                    Wal.open_append ~path:wp ~bytes:sc.valid_bytes
+                      ~frames:(List.length sc.scanned)
+                  with
+                  | exception Error.Error e -> Error e
+                  | wal ->
+                      Ok
+                        ( { dir; policy; fault; wal },
+                          index,
+                          {
+                            snapshot_epoch = hdr.epoch;
+                            final_epoch = Ifmh.epoch index;
+                            replayed;
+                            skipped;
+                            torn_tail_bytes = sc.torn_bytes;
+                          } ))))
+
+
+let append t ~base delta =
+  let w = Wire.writer () in
+  Ifmh.encode_delta w delta;
+  Wal.append ~fault:t.fault t.wal
+    { base_epoch = Ifmh.epoch base; delta = Wire.contents w }
+
+let compact t index =
+  Snapshot.write ~path:(snapshot_path t.dir) index;
+  Wal.close t.wal;
+  t.wal <- Wal.create ~path:(wal_path t.dir)
+
+let maybe_compact t index =
+  if
+    Wal.frames t.wal >= t.policy.max_log_frames
+    || Wal.size_bytes t.wal >= t.policy.max_log_bytes
+  then (
+    compact t index;
+    true)
+  else false
+
+let log_frames t = Wal.frames t.wal
+let log_bytes t = Wal.size_bytes t.wal
+let dir t = t.dir
+let fault t = t.fault
+let close t = Wal.close t.wal
+
+type report = {
+  r_scheme : Ifmh.scheme;
+  r_snapshot_epoch : int;
+  r_final_epoch : int;
+  r_n_leaves : int;
+  r_snapshot_bytes : int;
+  r_log_frames : int;
+  r_replayed : int;
+  r_skipped : int;
+  r_torn_tail_bytes : int;
+}
+
+let fsck ?pool dirname =
+  match Snapshot.read ?pool ~path:(snapshot_path dirname) () with
+  | Error e -> Error e
+  | Ok (index0, hdr) -> (
+      let wp = wal_path dirname in
+      let finish ~frames ~replayed ~skipped ~torn ~final =
+        Ok
+          {
+            r_scheme = hdr.scheme;
+            r_snapshot_epoch = hdr.epoch;
+            r_final_epoch = final;
+            r_n_leaves = hdr.n_leaves;
+            r_snapshot_bytes = Ioutil.file_size (snapshot_path dirname);
+            r_log_frames = frames;
+            r_replayed = replayed;
+            r_skipped = skipped;
+            r_torn_tail_bytes = torn;
+          }
+      in
+      if not (Sys.file_exists wp) then
+        finish ~frames:0 ~replayed:0 ~skipped:0 ~torn:0 ~final:hdr.epoch
+      else
+        match Wal.scan ~path:wp () with
+        | Error e -> Error e
+        | Ok sc -> (
+            if sc.valid_bytes < 8 then
+              finish ~frames:0 ~replayed:0 ~skipped:0 ~torn:sc.valid_bytes
+                ~final:hdr.epoch
+            else
+              match replay ?pool ~file:wp index0 sc.scanned with
+              | Error e -> Error e
+              | Ok (index, replayed, skipped) ->
+                  finish
+                    ~frames:(List.length sc.scanned)
+                    ~replayed ~skipped ~torn:sc.torn_bytes
+                    ~final:(Ifmh.epoch index)))

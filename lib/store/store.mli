@@ -1,0 +1,98 @@
+(** The durable index store: snapshot + write-ahead delta log.
+
+    A store directory holds exactly two files: [index.bin] (a
+    {!Snapshot} image, atomically published) and [wal.log] (a {!Wal} of
+    every accepted republish since that snapshot). The contract with
+    the serving engine:
+
+    - {!append} returns only after the delta frame is fsync'd — the
+      engine acks [Republished] strictly after that, so an acked epoch
+      is always recoverable (durable-before-ack);
+    - {!open_dir} recovery replays the log with [Ifmh.apply_delta],
+      which rebuilds the structure exactly as the hot-swap path did, so
+      the recovered index is byte-identical to what a never-crashed
+      server would serve (the apply == rebuild invariant);
+    - a torn log tail (crash mid-append) is truncated; every other
+      corruption mode is a typed {!Error.t} and nothing is served.
+
+    Compaction rewrites the snapshot at the current epoch, then resets
+    the log. A crash between those two steps is benign: recovery skips
+    log frames whose base epoch predates the snapshot. *)
+
+type t
+
+type policy = {
+  max_log_frames : int;  (** compact when the log holds this many deltas *)
+  max_log_bytes : int;  (** ... or grows past this many bytes *)
+}
+
+val default_policy : policy
+(** 64 frames / 16 MiB. Replaying a frame costs a full structure
+    rebuild (the apply == rebuild invariant is bought by rebuilding),
+    so recovery time grows linearly in log length and aggressive
+    compaction is the right default — see bench [abl-recovery]. *)
+
+type recovery = {
+  snapshot_epoch : int;
+  final_epoch : int;  (** epoch after replay — what the engine serves *)
+  replayed : int;  (** frames applied *)
+  skipped : int;  (** stale frames below the snapshot epoch (torn compaction) *)
+  torn_tail_bytes : int;  (** garbage truncated from the log tail *)
+}
+
+val snapshot_path : string -> string
+val wal_path : string -> string
+
+val publish : ?policy:policy -> dir:string -> Aqv.Ifmh.t -> t
+(** Owner-side initial publish: write the snapshot atomically and start
+    a fresh log. Creates [dir] if missing; truncates any previous log.
+    @raise Error.Error on IO failure. *)
+
+val open_dir :
+  ?pool:Aqv_par.Pool.pool ->
+  ?policy:policy ->
+  ?fault:Fault.t ->
+  string ->
+  (t * Aqv.Ifmh.t * recovery, Error.t) result
+(** Recover: validate the snapshot, scan the log, truncate a torn tail,
+    replay surviving deltas. Never raises on bad input. *)
+
+val append : t -> base:Aqv.Ifmh.t -> Aqv.Ifmh.delta -> unit
+(** Log one accepted delta ([base] is the index it applies to; its
+    epoch becomes the frame's base epoch). Fsync'd before returning.
+    @raise Error.Error ([Io_error]) on failure, including injected
+    faults — in which case the caller must NOT ack. *)
+
+val compact : t -> Aqv.Ifmh.t -> unit
+(** Rewrite the snapshot at [index]'s epoch (atomic), then reset the
+    log. @raise Error.Error on IO failure. *)
+
+val maybe_compact : t -> Aqv.Ifmh.t -> bool
+(** {!compact} iff the policy says the log is due. Returns whether it
+    compacted. *)
+
+val log_frames : t -> int
+val log_bytes : t -> int
+val dir : t -> string
+
+val fault : t -> Fault.t
+(** The store's fault-injection slot; arm it to make the next IO
+    operation fail (tests only). *)
+
+val close : t -> unit
+
+type report = {
+  r_scheme : Aqv.Ifmh.scheme;
+  r_snapshot_epoch : int;
+  r_final_epoch : int;
+  r_n_leaves : int;
+  r_snapshot_bytes : int;
+  r_log_frames : int;
+  r_replayed : int;
+  r_skipped : int;
+  r_torn_tail_bytes : int;
+}
+
+val fsck : ?pool:Aqv_par.Pool.pool -> string -> (report, Error.t) result
+(** Read-only health check: validates snapshot + log and dry-runs the
+    replay without truncating or modifying anything. *)

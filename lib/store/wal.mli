@@ -1,0 +1,74 @@
+(** Append-only write-ahead log of CRC32-framed delta records.
+
+    On-disk layout (see DESIGN.md §8):
+
+    {v
+    "AQVWAL1\n"                          8-byte magic
+    frame*:   4-byte BE  payload length
+              4-byte BE  CRC-32 of the payload
+              payload:   varint base epoch  (the epoch the delta applies to)
+                         bytes  Ifmh.encode_delta image
+    v}
+
+    {!append} fsyncs before returning — the caller may only acknowledge
+    a republish after [append] comes back, which is exactly the
+    durable-before-ack contract the engine relies on.
+
+    {!scan} classifies damage: an {e incomplete} trailing frame (header
+    or payload cut short) is a torn tail — the expected artifact of a
+    crash mid-append — and is reported as truncatable garbage; a
+    {e complete} frame whose CRC fails is corruption and surfaces as
+    [Error.Checksum_mismatch]. A corrupted length field is
+    indistinguishable from a torn tail and is treated as one: recovery
+    then serves a valid prefix of the delta chain, which is safe
+    (clients detect staleness through their minimum-epoch check). *)
+
+type frame = { base_epoch : int; delta : string }
+
+type t
+(** An open log handle (append mode). *)
+
+val max_frame_payload : int
+(** Upper bound on a frame payload; larger length fields are treated as
+    torn/corrupt. Matches the serving layer's 64 MiB frame cap. *)
+
+val encode_frame : frame -> string
+(** The exact bytes {!append} writes (exposed for tests and forgery
+    construction in the attack suite). *)
+
+val create : path:string -> t
+(** Write a fresh log (magic only) via the atomic writer and open it for
+    append. Truncates any previous log at [path].
+    @raise Error.Error ([Io_error]) on failure. *)
+
+val open_append : path:string -> bytes:int -> frames:int -> t
+(** Open an existing, already-validated log for append. [bytes] and
+    [frames] seed the size accounting ({!size_bytes}, {!frames}) and
+    must come from a prior {!scan}.
+    @raise Error.Error ([Io_error]) on failure. *)
+
+val append : ?fault:Fault.t -> t -> frame -> unit
+(** Frame, write, fsync. Honors an armed write fault: [Fail_write] and
+    [Torn_write] raise [Error.Error (Io_error _)] (the latter after
+    leaving a genuine torn tail on disk); [Bit_flip] silently corrupts.
+    @raise Error.Error ([Io_error]) on failure. *)
+
+val size_bytes : t -> int
+val frames : t -> int
+val close : t -> unit
+
+type scan_result = {
+  scanned : frame list;  (** complete, checksummed frames, in order *)
+  valid_bytes : int;  (** prefix length covering magic + those frames *)
+  torn_bytes : int;  (** trailing garbage past [valid_bytes] *)
+}
+(** [valid_bytes < 8] means even the magic is torn (interrupted
+    {!create}): the caller should recreate the log. *)
+
+val scan :
+  ?fault:Fault.t -> path:string -> unit -> (scan_result, Error.t) result
+(** Read-only validation pass over the whole log. *)
+
+val truncate : path:string -> int -> unit
+(** Cut the file to the given length (drop a torn tail) and fsync.
+    @raise Error.Error ([Io_error]) on failure. *)

@@ -405,6 +405,148 @@ let test_fuzz_mutations index () =
   done;
   check Alcotest.int "no accepted mutants" 0 !accepted_mutants
 
+(* --------------------------- durable store -------------------------- *)
+
+(* Tampering with the files under a store directory must surface as a
+   typed recovery error — never as a served index. Signatures are not
+   re-verified at recovery (the engine's clients do that per-response),
+   so these attacks target the layers the store itself owns: checksums,
+   epoch continuity, and replay validity. *)
+
+module Store = Aqv_store.Store
+module Wal = Aqv_store.Wal
+module Serror = Aqv_store.Error
+
+let store_keypair =
+  {
+    Signer.algorithm = Signer.Rsa;
+    sign = (fun d -> "sig:" ^ d);
+    verify = (fun d s -> String.equal s ("sig:" ^ d));
+    signature_size = 36;
+    public = Signer.Unverifiable;
+  }
+
+let store_read path =
+  let ic = open_in_bin path in
+  let b = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  b
+
+let store_write path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rec store_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun e -> store_rm_rf (Filename.concat path e))
+      (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_store_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aqv-attack-store-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then store_rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try store_rm_rf dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let store_err_name = function
+  | Serror.Bad_magic _ -> "Bad_magic"
+  | Serror.Checksum_mismatch _ -> "Checksum_mismatch"
+  | Serror.Truncated _ -> "Truncated"
+  | Serror.Decode_failed _ -> "Decode_failed"
+  | Serror.Header_mismatch _ -> "Header_mismatch"
+  | Serror.Epoch_gap _ -> "Epoch_gap"
+  | Serror.Replay_failed _ -> "Replay_failed"
+  | Serror.Io_error _ -> "Io_error"
+
+let expect_recovery_rejects name dir =
+  match Store.open_dir dir with
+  | Ok (store, index, _) ->
+    Store.close store;
+    Alcotest.failf "%s: tampered store was served (epoch %d)" name
+      (Ifmh.epoch index)
+  | Error e -> check Alcotest.string name name (store_err_name e)
+
+(* a tampered snapshot body must fail the CRC, whichever bit flips *)
+let test_store_snapshot_flip () =
+  with_store_dir (fun dir ->
+      let table = Workload.lines_1d ~n:10 (Prng.create 90L) in
+      let index = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table store_keypair in
+      Store.close (Store.publish ~dir index);
+      let path = Store.snapshot_path dir in
+      let good = store_read path in
+      List.iter
+        (fun pos ->
+          let b = Bytes.of_string good in
+          Bytes.set b pos (Char.chr (Char.code good.[pos] lxor 0x01));
+          store_write path (Bytes.to_string b);
+          expect_recovery_rejects "Checksum_mismatch" dir)
+        [ 20; String.length good / 2; String.length good - 10 ])
+
+(* a CRC-valid frame spliced in from another database: the checksum
+   holds, so the attack must die at replay, not be served *)
+let test_store_spliced_frame () =
+  with_store_dir (fun dir ->
+      let table_a = Workload.lines_1d ~n:10 (Prng.create 91L) in
+      let index_a = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table_a store_keypair in
+      Store.close (Store.publish ~dir index_a);
+      (* database B: same epoch, but its id space starts past A's, so a
+         delta deleting one of B's records names an id A never had *)
+      let table_b =
+        Table.make
+          ~records:
+            (Array.to_list
+               (Array.map
+                  (fun r ->
+                    Record.make ~id:(Record.id r + 500) ~attrs:(Record.attrs r) ())
+                  (Table.records table_a)))
+          ~template:(Table.template table_a) ~domain:(Table.domain table_a)
+      in
+      let index_b = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table_b store_keypair in
+      let changes = [ Update.Delete (Record.id (Table.records table_b).(0)) ] in
+      let index_b' = Ifmh.apply store_keypair changes index_b in
+      let delta_b = Ifmh.delta ~changes index_b' in
+      let w = Aqv_util.Wire.writer () in
+      Ifmh.encode_delta w delta_b;
+      let frame =
+        Wal.encode_frame
+          { Wal.base_epoch = 1; delta = Aqv_util.Wire.contents w }
+      in
+      let wal = Store.wal_path dir in
+      store_write wal (store_read wal ^ frame);
+      expect_recovery_rejects "Replay_failed" dir)
+
+(* a frame claiming a future base epoch: accepting it would let an
+   attacker who captured one log frame skip the chain between *)
+let test_store_epoch_gap () =
+  with_store_dir (fun dir ->
+      let table = Workload.lines_1d ~n:10 (Prng.create 92L) in
+      let index = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table store_keypair in
+      Store.close (Store.publish ~dir index);
+      let changes =
+        [ Update.Modify (Record.make ~id:0 ~attrs:[| Q.of_int 9; Q.of_int 9 |] ()) ]
+      in
+      let index5 = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:5 table store_keypair in
+      let index6 = Ifmh.apply store_keypair changes index5 in
+      let delta = Ifmh.delta ~changes index6 in
+      let w = Aqv_util.Wire.writer () in
+      Ifmh.encode_delta w delta;
+      let frame =
+        Wal.encode_frame { Wal.base_epoch = 5; delta = Aqv_util.Wire.contents w }
+      in
+      let wal = Store.wal_path dir in
+      store_write wal (store_read wal ^ frame);
+      expect_recovery_rejects "Epoch_gap" dir)
+
 let () =
   Alcotest.run "aqv_attacks"
     [
@@ -445,5 +587,13 @@ let () =
             (test_fuzz_mutations (Lazy.force index_one));
           Alcotest.test_case "multi-sig byte mutations" `Quick
             (test_fuzz_mutations (Lazy.force index_multi));
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "bit-flipped snapshot" `Quick
+            test_store_snapshot_flip;
+          Alcotest.test_case "spliced foreign frame" `Quick
+            test_store_spliced_frame;
+          Alcotest.test_case "epoch-gap frame" `Quick test_store_epoch_gap;
         ] );
     ]
