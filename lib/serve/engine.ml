@@ -48,6 +48,7 @@ type t = {
   mu : Mutex.t;
   republish_mu : Mutex.t;
   mutable active : int;
+  mutable compactor : Thread.t option;  (* guarded by [mu] *)
 }
 
 let create config index =
@@ -71,6 +72,7 @@ let create config index =
     mu = Mutex.create ();
     republish_mu = Mutex.create ();
     active = 0;
+    compactor = None;
   }
 
 let port t = t.bound_port
@@ -102,6 +104,52 @@ let encode_reply_bytes reply =
   Wire.contents w
 
 let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Compaction runs off the reply path: rewriting the snapshot of a
+   large index (encode + write + fsync) can outlast a client's read
+   timeout, and the triggering delta is already durable in the log, so
+   the Republished ack must not wait for it. The background step
+   retakes [republish_mu] — compaction swaps the store's log handle, so
+   it serializes with appends exactly like a republish — and rechecks
+   the policy under the lock, so a compaction that already happened (or
+   a log that grew past the threshold again) is handled correctly.
+   Failure only logs: an oversized log is still a correct log. *)
+let compact_store t store =
+  Mutex.lock t.republish_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.republish_mu)
+    (fun () ->
+      try
+        if Aqv_store.Store.maybe_compact store (Atomic.get t.index) then begin
+          Stats.compacted t.stats;
+          Log.info (fun m ->
+              m "store compacted at epoch %d" (Ifmh.epoch (Atomic.get t.index)))
+        end
+      with Aqv_store.Error.Error e ->
+        Log.warn (fun m ->
+            m "store compaction failed: %s" (Aqv_store.Error.to_string e)))
+
+(* At most one compactor thread at a time; a due-check that races with
+   a finishing compaction just finds the fresh log not due next time. *)
+let schedule_compaction t =
+  match t.config.store with
+  | None -> ()
+  | Some store when not (Aqv_store.Store.compaction_due store) -> ()
+  | Some store ->
+      Mutex.lock t.mu;
+      if Option.is_none t.compactor then
+        t.compactor <-
+          Some
+            (Thread.create
+               (fun () ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Mutex.lock t.mu;
+                     t.compactor <- None;
+                     Mutex.unlock t.mu)
+                   (fun () -> compact_store t store))
+               ());
+      Mutex.unlock t.mu
 
 (* Compute (or fetch from cache) the encoded reply for one raw request
    payload. Get_stats bypasses the cache — its reply changes with every
@@ -153,21 +201,7 @@ let reply_bytes_for t payload =
                 ignore (swap_index t index');
                 Log.info (fun m ->
                     m "republished: now serving epoch %d" (Ifmh.epoch index'));
-                (* Compaction failure is not a republish failure: the
-                   delta is already durable in the log. *)
-                (try
-                   Option.iter
-                     (fun s ->
-                       if Aqv_store.Store.maybe_compact s index' then begin
-                         Stats.compacted t.stats;
-                         Log.info (fun m ->
-                             m "store compacted at epoch %d" (Ifmh.epoch index'))
-                       end)
-                     t.config.store
-                 with Aqv_store.Error.Error e ->
-                   Log.warn (fun m ->
-                       m "store compaction failed: %s"
-                         (Aqv_store.Error.to_string e)));
+                schedule_compaction t;
                 Protocol.Republished (Ifmh.epoch index')))
     in
     encode_reply_bytes reply
@@ -346,8 +380,12 @@ let serve t =
     Mutex.lock t.mu
   done;
   let leftover = t.active in
+  let compactor = t.compactor in
   Mutex.unlock t.mu;
   if leftover > 0 then
     Log.warn (fun m -> m "drain timeout: %d session(s) still active" leftover);
+  (* the caller closes the store after [serve] returns, so a background
+     compaction must not outlive us *)
+  Option.iter Thread.join compactor;
   (try Unix.close t.listen_sock with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "stopped: %a" Stats.pp t.stats)

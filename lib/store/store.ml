@@ -127,14 +127,22 @@ let append t ~base delta =
 
 let compact t index =
   Snapshot.write ~path:(snapshot_path t.dir) index;
-  Wal.close t.wal;
-  t.wal <- Wal.create ~path:(wal_path t.dir)
+  (* Swap in the fresh log before touching the old handle: Wal.create
+     publishes atomically (temp + rename), so if it raises — disk full —
+     the old log is intact and the store stays appendable, merely
+     overdue for compaction. Closing first would leave t.wal holding a
+     dead fd and refuse every republish until restart. *)
+  let fresh = Wal.create ~path:(wal_path t.dir) in
+  let old = t.wal in
+  t.wal <- fresh;
+  Wal.close old
+
+let compaction_due t =
+  Wal.frames t.wal >= t.policy.max_log_frames
+  || Wal.size_bytes t.wal >= t.policy.max_log_bytes
 
 let maybe_compact t index =
-  if
-    Wal.frames t.wal >= t.policy.max_log_frames
-    || Wal.size_bytes t.wal >= t.policy.max_log_bytes
-  then (
+  if compaction_due t then (
     compact t index;
     true)
   else false

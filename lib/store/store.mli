@@ -61,15 +61,23 @@ val append : t -> base:Aqv.Ifmh.t -> Aqv.Ifmh.delta -> unit
 (** Log one accepted delta ([base] is the index it applies to; its
     epoch becomes the frame's base epoch). Fsync'd before returning.
     @raise Error.Error ([Io_error]) on failure, including injected
-    faults — in which case the caller must NOT ack. *)
+    faults — in which case the caller must NOT ack. A failed append
+    rolls the log back to its last durable frame (see {!Wal.append}),
+    so a retry is safe; if the log simulated a crash (torn write) or
+    the rollback failed, every later append is refused until the store
+    is reopened through {!open_dir} recovery. *)
 
 val compact : t -> Aqv.Ifmh.t -> unit
 (** Rewrite the snapshot at [index]'s epoch (atomic), then reset the
-    log. @raise Error.Error on IO failure. *)
+    log. If resetting the log fails, the old log is kept and the store
+    stays appendable. @raise Error.Error on IO failure. *)
+
+val compaction_due : t -> bool
+(** Whether the policy says the log should be folded into a snapshot.
+    Cheap — safe to poll on the reply path. *)
 
 val maybe_compact : t -> Aqv.Ifmh.t -> bool
-(** {!compact} iff the policy says the log is due. Returns whether it
-    compacted. *)
+(** {!compact} iff {!compaction_due}. Returns whether it compacted. *)
 
 val log_frames : t -> int
 val log_bytes : t -> int

@@ -10,6 +10,7 @@ type t = {
   fd : Unix.file_descr;
   mutable size_bytes : int;
   mutable frames : int;
+  mutable poisoned : bool;
 }
 
 let encode_frame f =
@@ -26,7 +27,7 @@ let io_error path e = Error.fail (Error.Io_error { file = path; reason = e })
 let open_append ~path ~bytes ~frames =
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 with
   | exception Unix.Unix_error (e, _, _) -> io_error path (Unix.error_message e)
-  | fd -> { path; fd; size_bytes = bytes; frames }
+  | fd -> { path; fd; size_bytes = bytes; frames; poisoned = false }
 
 let create ~path =
   Ioutil.atomic_write_file ~path magic;
@@ -39,22 +40,43 @@ let flip_bit k s =
     Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
   Bytes.to_string b
 
+(* A failed append may leave a partial frame past the last good offset
+   (ENOSPC mid-write, a failed fsync). The engine's contract turns such
+   a failure into a Refused and keeps serving — so if the garbage stayed
+   on disk, a *retried* append would land after it, get acked, and then
+   recovery would either truncate the acked frame away (scan stops at
+   the garbage) or refuse the whole log (length field read out of the
+   garbage): a durable-before-ack violation either way. Roll the file
+   back to the last good offset; if even that fails, poison the handle
+   so every later append is refused until recovery rescans the log. *)
+let rollback t =
+  match Unix.ftruncate t.fd t.size_bytes with
+  | () -> ()
+  | exception Unix.Unix_error _ -> t.poisoned <- true
+
 let write_all t data n =
-  let w = Unix.write_substring t.fd data 0 n in
-  if w <> n then io_error t.path "short write"
+  match Unix.write_substring t.fd data 0 n with
+  | exception Unix.Unix_error (e, _, _) ->
+      rollback t;
+      io_error t.path (Unix.error_message e)
+  | w -> if w <> n then (rollback t; io_error t.path "short write")
 
 let append ?fault t frame =
+  if t.poisoned then
+    io_error t.path "poisoned by an earlier failed append; reopen to recover";
   let data = encode_frame frame in
   match Option.bind fault Fault.take_write with
   | Some Fault.Fail_write -> io_error t.path "injected write failure"
   | Some (Fault.Torn_write n) ->
-      (* A crash mid-append: some prefix reaches the disk, the caller
-         never hears back. The handle stays usable so a test can keep
-         driving the engine, but the accounting is NOT advanced — the
-         torn bytes are garbage that the next recovery truncates. *)
+      (* A crash mid-append: some prefix reaches the disk and the
+         caller never hears back. Unlike a live partial-write failure,
+         the garbage must STAY on disk (it is the artifact recovery
+         exists to truncate), so instead of rolling back we poison the
+         handle — a real crashed process could not append either. *)
       let n = min n (String.length data) in
       write_all t data n;
       (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+      t.poisoned <- true;
       io_error t.path "injected torn write"
   | Some (Fault.Bit_flip k) ->
       (* Silent media corruption: the write "succeeds". *)
@@ -62,19 +84,18 @@ let append ?fault t frame =
       let n = String.length data in
       write_all t data n;
       (try Unix.fsync t.fd with Unix.Unix_error (e, _, _) ->
+        rollback t;
         io_error t.path (Unix.error_message e));
       t.size_bytes <- t.size_bytes + n;
       t.frames <- t.frames + 1
-  | Some (Fault.Short_read _) | None -> (
+  | Some (Fault.Short_read _) | None ->
       let n = String.length data in
-      match write_all t data n with
-      | exception Unix.Unix_error (e, _, _) ->
-          io_error t.path (Unix.error_message e)
-      | () ->
-          (try Unix.fsync t.fd with Unix.Unix_error (e, _, _) ->
-            io_error t.path (Unix.error_message e));
-          t.size_bytes <- t.size_bytes + n;
-          t.frames <- t.frames + 1)
+      write_all t data n;
+      (try Unix.fsync t.fd with Unix.Unix_error (e, _, _) ->
+        rollback t;
+        io_error t.path (Unix.error_message e));
+      t.size_bytes <- t.size_bytes + n;
+      t.frames <- t.frames + 1
 
 let size_bytes t = t.size_bytes
 let frames t = t.frames

@@ -48,10 +48,19 @@ val open_append : path:string -> bytes:int -> frames:int -> t
     @raise Error.Error ([Io_error]) on failure. *)
 
 val append : ?fault:Fault.t -> t -> frame -> unit
-(** Frame, write, fsync. Honors an armed write fault: [Fail_write] and
-    [Torn_write] raise [Error.Error (Io_error _)] (the latter after
-    leaving a genuine torn tail on disk); [Bit_flip] silently corrupts.
-    @raise Error.Error ([Io_error]) on failure. *)
+(** Frame, write, fsync. A failed append never leaves the handle
+    pointing past garbage: a partial write (ENOSPC, failed fsync) is
+    rolled back by truncating the file to the last good offset, so a
+    retry appends at a clean boundary; if the rollback itself fails the
+    handle is {e poisoned} and every later append is refused until the
+    log is reopened through a recovery scan — otherwise a retried,
+    acked frame could sit after garbage that recovery truncates away.
+
+    Honors an armed write fault: [Fail_write] raises before writing;
+    [Torn_write] simulates a crash mid-append — the torn prefix stays
+    on disk for recovery to truncate and the handle is poisoned (a
+    crashed process cannot append either); [Bit_flip] silently
+    corrupts. @raise Error.Error ([Io_error]) on failure. *)
 
 val size_bytes : t -> int
 val frames : t -> int

@@ -473,17 +473,36 @@ let test_fault_torn_write () =
       (match Store.append store ~base:index1 (Ifmh.delta ~changes index2) with
       | () -> Alcotest.fail "torn append must raise"
       | exception Serror.Error (Serror.Io_error _) -> ());
+      (* the handle is now poisoned: a retried append would land AFTER
+         the garbage, get acked, and then recovery would truncate the
+         acked frame away with the garbage — so it must be refused *)
+      (match Store.append store ~base:index1 (Ifmh.delta ~changes index2) with
+      | () -> Alcotest.fail "append after torn write must be refused"
+      | exception Serror.Error (Serror.Io_error _) -> ());
+      check Alcotest.int "refused retry not counted" 0 (Store.log_frames store);
       Store.close store;
       (* the 13 garbage bytes are on disk; recovery truncates them and
          serves the pre-crash epoch *)
       match Store.open_dir dir with
       | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
       | Ok (store, index, recovery) ->
-        Store.close store;
         check Alcotest.int "torn tail truncated" 13 recovery.Store.torn_tail_bytes;
         check Alcotest.int "pre-crash epoch served" 1 recovery.Store.final_epoch;
         check Alcotest.string "pre-crash bytes served" (hex (save_bytes index1))
-          (hex (save_bytes index)))
+          (hex (save_bytes index));
+        (* recovery rescanned and truncated: the reopened log accepts
+           the retry at a clean boundary, and the frame survives *)
+        Store.append store ~base:index (Ifmh.delta ~changes index2);
+        check Alcotest.int "retry after recovery lands" 1 (Store.log_frames store);
+        Store.close store;
+        match Store.open_dir dir with
+        | Error e -> Alcotest.failf "re-recovery failed: %s" (Serror.to_string e)
+        | Ok (store, index, recovery) ->
+          Store.close store;
+          check Alcotest.int "retried frame replayed" 1 recovery.Store.replayed;
+          check Alcotest.int "retried epoch recovered" 2 recovery.Store.final_epoch;
+          check Alcotest.string "retried bytes recovered" (hex (save_bytes index2))
+            (hex (save_bytes index)))
 
 let test_fault_bit_flip () =
   with_dir (fun dir ->
@@ -557,12 +576,77 @@ let test_engine_durable_before_ack () =
           check Alcotest.int "frame durable" 1 (Store.log_frames store);
           (* 3: recovery from that store serves the acked bytes *)
           let served = save_bytes (Engine.index engine) in
-          match Store.open_dir dir with
+          (match Store.open_dir dir with
           | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
           | Ok (store2, recovered, recovery) ->
             Store.close store2;
             check Alcotest.int "recovered epoch" 2 recovery.Store.final_epoch;
             check Alcotest.string "recovered = served" (hex served)
+              (hex (save_bytes recovered)));
+          (* 4: a torn append refuses the republish AND poisons the log,
+             so the retry is refused too — it can never be acked with
+             its frame sitting after garbage that recovery truncates *)
+          let table2 = Update.apply_table changes table in
+          let changes2 = gen_changes ~dims:1 prng table2 1 in
+          let index3 = Ifmh.apply fake_keypair changes2 index2 in
+          let delta2 = Ifmh.delta ~changes:changes2 index3 in
+          Fault.arm (Store.fault store) (Fault.Torn_write 11);
+          (match Roundtrip.call ~port (Protocol.Republish delta2) with
+          | Protocol.Refused _ -> ()
+          | _ -> Alcotest.fail "expected Refused on torn append");
+          (match Roundtrip.call ~port (Protocol.Republish delta2) with
+          | Protocol.Refused _ -> ()
+          | _ -> Alcotest.fail "expected Refused from poisoned log");
+          check Alcotest.int "epoch still 2" 2 (Ifmh.epoch (Engine.index engine));
+          match Store.open_dir dir with
+          | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
+          | Ok (store3, recovered, recovery) ->
+            Store.close store3;
+            check Alcotest.int "garbage truncated" 11 recovery.Store.torn_tail_bytes;
+            check Alcotest.int "acked epoch recovered" 2 recovery.Store.final_epoch;
+            check Alcotest.string "recovered = served (post-torn)" (hex served)
+              (hex (save_bytes recovered))))
+
+let test_engine_background_compaction () =
+  with_dir (fun dir ->
+      let prng = Prng.create 70L in
+      let table = gen_table ~dims:1 prng in
+      let index1 = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table fake_keypair in
+      let policy = { Store.max_log_frames = 1; max_log_bytes = max_int } in
+      let store = Store.publish ~policy ~dir index1 in
+      let config =
+        { Engine.default_config with port = 0; store = Some store; drain_timeout = 2. }
+      in
+      let engine = Engine.create config index1 in
+      let th = Thread.create Engine.serve engine in
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.stop engine;
+          Thread.join th;
+          Store.close store)
+        (fun () ->
+          let port = Engine.port engine in
+          let changes = gen_changes ~dims:1 prng table 1 in
+          let index2 = Ifmh.apply fake_keypair changes index1 in
+          (match
+             Roundtrip.call ~port (Protocol.Republish (Ifmh.delta ~changes index2))
+           with
+          | Protocol.Republished 2 -> ()
+          | _ -> Alcotest.fail "expected Republished 2");
+          (* the ack does not wait for the snapshot rewrite: compaction
+             lands in the background shortly after and resets the log *)
+          check Alcotest.bool "compaction happened" true
+            (await 2. (fun () -> Stats.get (Engine.stats engine) "compactions" = 1));
+          check Alcotest.bool "log reset" true
+            (await 2. (fun () -> Store.log_frames store = 0));
+          match Store.open_dir ~policy dir with
+          | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
+          | Ok (store2, recovered, recovery) ->
+            Store.close store2;
+            check Alcotest.int "compacted snapshot epoch" 2
+              recovery.Store.snapshot_epoch;
+            check Alcotest.int "no replay needed" 0 recovery.Store.replayed;
+            check Alcotest.string "compacted = served" (hex (save_bytes index2))
               (hex (save_bytes recovered))))
 
 let () =
@@ -595,5 +679,7 @@ let () =
         [
           Alcotest.test_case "durable-before-ack" `Quick
             test_engine_durable_before_ack;
+          Alcotest.test_case "background compaction" `Quick
+            test_engine_background_compaction;
         ] );
     ]
