@@ -677,15 +677,19 @@ let abl_update () =
   row " one-sig pays 1 signature + a full hash re-propagation, multi-sig\n";
   row " one signature per subdomain [%d here] + no propagation, mesh one\n"
     (Itree.leaf_count (Ifmh.itree multi));
-  row " per dirtied run; rebuild = from-scratch multi-sig build)\n";
+  row " per dirtied run; rebuild = from-scratch multi-sig build; cold =\n";
+  row " multi-sig apply with the rebuild cache dropped, so 'multi s' vs\n";
+  row " 'cold s' isolates the carry-over of pair geometry + FMH-trees)\n";
   let measure f =
     Metrics.reset ();
     let before = Metrics.snapshot () in
     let _, t = time f in
-    ((Metrics.diff (Metrics.snapshot ()) before).Metrics.sign_ops, t)
+    let d = Metrics.diff (Metrics.snapshot ()) before in
+    (d.Metrics.sign_ops, d.Metrics.memo_pair_hits, d.Metrics.memo_fmh_hits, t)
   in
-  row "%6s | %8s %8s | %9s %8s | %8s %8s | %11s %9s\n" "b" "one sig" "one s" "multi sig"
-    "multi s" "mesh sig" "mesh s" "rebuild sig" "rebuild s";
+  row "%6s | %8s %8s | %9s %8s %8s | %8s %8s | %11s %9s | %9s\n" "b" "one sig"
+    "one s" "multi sig" "multi s" "cold s" "mesh sig" "mesh s" "rebuild sig"
+    "rebuild s" "pair hits";
   List.iter
     (fun b ->
       let rng = Prng.create (Int64.of_int (0xAB10 + b)) in
@@ -700,16 +704,23 @@ let abl_update () =
                    |]
                  ()))
       in
-      let s_one, t_one = measure (fun () -> Ifmh.apply kp changes one) in
-      let s_multi, t_multi = measure (fun () -> Ifmh.apply kp changes multi) in
-      let s_mesh, t_mesh = measure (fun () -> Mesh.apply kp changes mesh) in
-      let s_reb, t_reb =
+      let s_one, p_one, f_one, t_one = measure (fun () -> Ifmh.apply kp changes one) in
+      let s_multi, p_multi, f_multi, t_multi =
+        measure (fun () -> Ifmh.apply kp changes multi)
+      in
+      let s_cold, p_cold, f_cold, t_cold =
+        measure (fun () -> Ifmh.apply kp changes (Ifmh.drop_rebuild_cache multi))
+      in
+      let s_mesh, p_mesh, f_mesh, t_mesh =
+        measure (fun () -> Mesh.apply kp changes mesh)
+      in
+      let s_reb, p_reb, f_reb, t_reb =
         measure (fun () ->
             Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:2
               (Update.apply_table changes table) kp)
       in
       List.iter
-        (fun (variant, sigs, secs) ->
+        (fun (variant, sigs, pairs, fmh, secs) ->
           json_add
             [
               ("figure", J_str "abl-update");
@@ -717,16 +728,19 @@ let abl_update () =
               ("batch", J_int b);
               ("variant", J_str variant);
               ("sign_ops", J_int sigs);
+              ("memo_pair_hits", J_int pairs);
+              ("memo_fmh_hits", J_int fmh);
               ("wall_s", J_num secs);
             ])
         [
-          ("one-sig-apply", s_one, t_one);
-          ("multi-sig-apply", s_multi, t_multi);
-          ("mesh-apply", s_mesh, t_mesh);
-          ("multi-sig-rebuild", s_reb, t_reb);
+          ("one-sig-apply", s_one, p_one, f_one, t_one);
+          ("multi-sig-apply", s_multi, p_multi, f_multi, t_multi);
+          ("multi-sig-apply-cold", s_cold, p_cold, f_cold, t_cold);
+          ("mesh-apply", s_mesh, p_mesh, f_mesh, t_mesh);
+          ("multi-sig-rebuild", s_reb, p_reb, f_reb, t_reb);
         ];
-      row "%6d | %8d %8.3f | %9d %8.3f | %8d %8.3f | %11d %9.3f\n%!" b s_one t_one
-        s_multi t_multi s_mesh t_mesh s_reb t_reb)
+      row "%6d | %8d %8.3f | %9d %8.3f %8.3f | %8d %8.3f | %11d %9.3f | %9d\n%!"
+        b s_one t_one s_multi t_multi t_cold s_mesh t_mesh s_reb t_reb p_multi)
     [ 1; 2; 4; 8; 16 ]
 
 let abl_recovery () =
@@ -742,11 +756,13 @@ let abl_recovery () =
     end
     else Sys.remove path
   in
-  row "(n = %d, dry signer; each WAL frame carries one modify and its\n" n;
-  row " replay is a full structure rebuild, so recovery cost is linear in\n";
-  row " log length — compaction resets it to the snapshot-load floor)\n";
-  row "%8s | %10s %10s | %12s | %12s\n" "frames" "recover s" "replayed" "compacted s"
-    "fresh build";
+  row "(n = %d, dry signer; 'recover' coalesces all surviving frames into\n" n;
+  row " one net change list and a single rebuild, so its cost stays ~flat\n";
+  row " in log length; 'seq' forces the old frame-by-frame replay — one\n";
+  row " rebuild per frame, linear in k; compaction resets both to the\n";
+  row " snapshot-load floor)\n";
+  row "%8s | %10s %10s | %10s %10s | %12s | %12s\n" "frames" "recover s" "coalesced"
+    "seq s" "replayed" "compacted s" "fresh build";
   List.iter
     (fun k ->
       let dir =
@@ -779,50 +795,58 @@ let abl_recovery () =
         index := updated
       done;
       Store.close store;
-      let recovery, t_rec =
-        time (fun () ->
-            match Store.open_dir dir with
-            | Error e -> failwith (Aqv_store.Error.to_string e)
-            | Ok (store, _, recovery) ->
-              Store.close store;
-              recovery)
+      let hashed f =
+        Metrics.reset ();
+        let before = Metrics.snapshot () in
+        let x, t = time f in
+        (x, t, (Metrics.diff (Metrics.snapshot ()) before).Metrics.hash_ops)
       in
+      let recover replay () =
+        match Store.open_dir ~replay dir with
+        | Error e -> failwith (Aqv_store.Error.to_string e)
+        | Ok (store, _, recovery) ->
+          Store.close store;
+          recovery
+      in
+      let recovery, t_rec, h_rec = hashed (recover `Coalesced) in
+      let recovery_seq, t_seq, h_seq = hashed (recover `Sequential) in
       (* compact, then recover again: the log-length term disappears *)
       (match Store.open_dir dir with
       | Error e -> failwith (Aqv_store.Error.to_string e)
       | Ok (store, recovered, _) ->
         Store.compact store recovered;
         Store.close store);
-      let _, t_compacted =
-        time (fun () ->
-            match Store.open_dir dir with
-            | Error e -> failwith (Aqv_store.Error.to_string e)
-            | Ok (store, _, recovery) ->
-              Store.close store;
-              recovery)
-      in
-      let _, t_fresh =
-        time (fun () ->
+      let _, t_compacted, h_compacted = hashed (recover `Coalesced) in
+      let _, t_fresh, h_fresh =
+        hashed (fun () ->
             Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:(1 + k) !tbl kp)
       in
       List.iter
-        (fun (variant, secs) ->
+        (fun (variant, replayed, coalesced, secs, hashes) ->
           json_add
             [
               ("figure", J_str "abl-recovery");
               ("n", J_int n);
               ("frames", J_int k);
               ("variant", J_str variant);
-              ("replayed", J_int recovery.Store.replayed);
+              ("replayed", J_int replayed);
+              ("coalesced", J_int coalesced);
+              ("hash_ops", J_int hashes);
               ("wall_s", J_num secs);
             ])
         [
-          ("recover", t_rec);
-          ("recover-compacted", t_compacted);
-          ("fresh-build", t_fresh);
+          ("recover", recovery.Store.replayed, recovery.Store.coalesced, t_rec, h_rec);
+          ( "recover-sequential",
+            recovery_seq.Store.replayed,
+            recovery_seq.Store.coalesced,
+            t_seq,
+            h_seq );
+          ("recover-compacted", 0, 0, t_compacted, h_compacted);
+          ("fresh-build", 0, 0, t_fresh, h_fresh);
         ];
-      row "%8d | %10.3f %10d | %12.3f | %12.3f\n%!" k t_rec
-        recovery.Store.replayed t_compacted t_fresh;
+      row "%8d | %10.3f %10d | %10.3f %10d | %12.3f | %12.3f\n%!" k t_rec
+        recovery.Store.coalesced t_seq recovery_seq.Store.replayed t_compacted
+        t_fresh;
       rm_rf dir)
     [ 0; 1; 2; 4; 8; 16 ]
 

@@ -152,17 +152,23 @@ let run_serve dir port once max_conns cache_capacity idle_timeout read_timeout
     in
     let engine = Engine.create config index in
     Stats.recovered (Engine.stats engine)
-      ~torn_tail:(recovery.Store.torn_tail_bytes > 0);
+      ~torn_tail:(recovery.Store.torn_tail_bytes > 0)
+      ~coalesced:recovery.Store.coalesced;
     let stop _ = Engine.stop engine in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     Printf.printf
       "recovered epoch %d (snapshot epoch %d, %d delta(s) replayed, %d \
-       skipped, %d torn byte(s) truncated)\n"
+       coalesced into one rebuild, %d skipped, %d torn byte(s) truncated)\n"
       recovery.Store.final_epoch recovery.Store.snapshot_epoch
-      recovery.Store.replayed recovery.Store.skipped
+      recovery.Store.replayed recovery.Store.coalesced recovery.Store.skipped
       recovery.Store.torn_tail_bytes;
+    (let m = Aqv_util.Metrics.snapshot () in
+     if m.Aqv_util.Metrics.memo_pair_hits > 0 || m.Aqv_util.Metrics.memo_fmh_hits > 0
+     then
+       Printf.printf "  rebuild cache: %d pair / %d fmh hit(s) during recovery\n"
+         m.Aqv_util.Metrics.memo_pair_hits m.Aqv_util.Metrics.memo_fmh_hits);
     Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)\n%!"
       (Table.size (Ifmh.table index))
       (Engine.port engine)
@@ -222,6 +228,11 @@ let run_fsck dir =
       r.Store.r_snapshot_epoch r.Store.r_snapshot_bytes r.Store.r_n_leaves;
     Printf.printf "  log             %d frame(s): %d replayable, %d stale\n"
       r.Store.r_log_frames r.Store.r_replayed r.Store.r_skipped;
+    Printf.printf "  replay          %d frame(s) coalesced into one rebuild\n"
+      r.Store.r_coalesced;
+    (let m = Aqv_util.Metrics.snapshot () in
+     Printf.printf "  rebuild cache   %d pair / %d fmh hit(s)\n"
+       m.Aqv_util.Metrics.memo_pair_hits m.Aqv_util.Metrics.memo_fmh_hits);
     Printf.printf "  final epoch     %d\n" r.Store.r_final_epoch;
     if r.Store.r_torn_tail_bytes > 0 then
       Printf.printf "  torn tail       %d byte(s), truncated on next serve\n"
@@ -246,8 +257,11 @@ let run_compact dir =
 (* Self-contained load generator: everything (owner, engine, M verifying
    clients) in one process, so `aqv_net bench` is a one-command serving
    baseline. Deterministic request streams per client via Prng splits;
-   wall-clock throughput and the latency histogram are the measurement. *)
-let run_bench records seed clients requests cache_capacity verify =
+   wall-clock throughput and the latency histogram are the measurement.
+   With [--republish N] an owner thread drives N republishes through the
+   same engine while the query load runs, measuring republish latency
+   (apply + hot swap) under concurrent reads. *)
+let run_bench records seed clients requests cache_capacity republish verify =
   setup_logging ();
   let table = Workload.lines_1d ~n:records (Prng.create (Int64.of_int seed)) in
   let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
@@ -298,14 +312,42 @@ let run_bench records seed clients requests cache_capacity verify =
         done);
     hist
   in
+  (* owner thread: modify one record per epoch, republish over the same
+     wire protocol the clients use, time ask-to-ack *)
+  let repub_hist = Histogram.create () in
+  let repub_failures = ref 0 in
+  let repub_thread () =
+    let prng = Prng.create (Int64.of_int ((seed * 1000) + 999)) in
+    Roundtrip.with_connection ~port (fun fd ->
+        let cur = ref index in
+        for e = 2 to republish + 1 do
+          let id = Prng.int prng records in
+          let attrs =
+            [| Q.of_int (Prng.int_in prng 1 100); Q.of_int (Prng.int_in prng 0 500) |]
+          in
+          let changes = [ Update.Modify (Record.make ~id ~attrs ()) ] in
+          let next = Ifmh.apply ~epoch:e keypair changes !cur in
+          let t0 = Unix.gettimeofday () in
+          (match Roundtrip.ask fd (Protocol.Republish (Ifmh.delta ~changes next)) with
+          | Protocol.Republished _ ->
+            Histogram.observe repub_hist
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+          | _ -> incr repub_failures);
+          cur := next
+        done)
+  in
   let t0 = Unix.gettimeofday () in
   let hists = Array.make clients (Histogram.create ()) in
   let threads =
     List.init clients (fun i ->
         Thread.create (fun () -> hists.(i) <- client_thread i) ())
   in
+  let republisher =
+    if republish > 0 then Some (Thread.create repub_thread ()) else None
+  in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
+  Option.iter Thread.join republisher;
   Engine.stop engine;
   Thread.join server;
   let hist = Array.fold_left Histogram.merge (Histogram.create ()) hists in
@@ -323,8 +365,19 @@ let run_bench records seed clients requests cache_capacity verify =
     (Stats.get stats "cache_misses");
   Printf.printf "  bytes       %d in / %d out\n" (Stats.get stats "bytes_in")
     (Stats.get stats "bytes_out");
-  Printf.printf "  verify      %d failure(s)\n" !failures;
-  if !failures > 0 then exit 1
+  if republish > 0 then begin
+    Printf.printf
+      "  republish   %d acked, latency us p50=%d p99=%d max=%d (under query load)\n"
+      (Histogram.count repub_hist)
+      (Histogram.percentile repub_hist 50)
+      (Histogram.percentile repub_hist 99)
+      (Histogram.max_value repub_hist);
+    Printf.printf "  rebuild     cache %d pair / %d fmh hit(s)\n"
+      (Stats.get stats "memo_pair_hits")
+      (Stats.get stats "memo_fmh_hits")
+  end;
+  Printf.printf "  verify      %d failure(s)\n" (!failures + !repub_failures);
+  if !failures + !repub_failures > 0 then exit 1
 
 (* ------------------------------ selftest ---------------------------- *)
 
@@ -352,7 +405,8 @@ let selftest_server dir port_file =
          in
          let engine = Engine.create config index in
          Stats.recovered (Engine.stats engine)
-           ~torn_tail:(recovery.Store.torn_tail_bytes > 0);
+           ~torn_tail:(recovery.Store.torn_tail_bytes > 0)
+           ~coalesced:recovery.Store.coalesced;
          Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Engine.stop engine));
          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
          write_file port_file (string_of_int (Engine.port engine));
@@ -566,6 +620,12 @@ let requests_t = Arg.(value & opt int 50 & info [ "requests" ] ~docv:"R")
 let no_verify_t =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip client-side verification.")
 
+let republish_t =
+  Arg.(
+    value & opt int 0
+    & info [ "republish" ] ~docv:"N"
+        ~doc:"Drive N owner republishes through the engine during the query load.")
+
 let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Owner: build and write index.bin + bundle.bin.")
     Term.(const run_publish $ records_t $ seed_t $ scheme_t $ epoch_t $ dir_t)
@@ -603,6 +663,7 @@ let bench_cmd =
        ~doc:"Load generator: in-process engine + M concurrent verifying clients.")
     Term.(
       const run_bench $ records_t $ seed_t $ clients_t $ requests_t $ cache_t
+      $ republish_t
       $ Term.app (Term.const not) no_verify_t)
 
 let selftest_cmd =

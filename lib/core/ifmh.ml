@@ -24,6 +24,10 @@ type t = {
   leaf_signatures : string array;
   root_digest : string option;  (** the digest [root_signature] covers *)
   leaf_digests : string array;  (** the digests [leaf_signatures] cover *)
+  memo : Memo.t;
+      (** rebuild cache populated by this build, carried into the next
+          [rebuild_structure]; pure function results only, never
+          structure *)
 }
 
 let scheme t = t.scheme
@@ -126,20 +130,58 @@ let default_seed = 0x17EEL
 
 (* Build the unsigned structure (I-tree, sorted lists, FMH roots, hash
    propagation) and hand each scheme the digests it must cover. Shared
-   by [build] (owner: signs) and [load] (server: attaches stored
-   signatures). *)
-let build_structure ~seed ?fmh_storage ~pool table =
-  let itree = Itree.build ~seed (Table.domain table) (Table.functions table) in
+   by [build] (owner: signs), [load] (server: attaches stored
+   signatures) and the incremental rebuilds ([prev] present).
+
+   With [prev], record digests of unchanged records are reused, and the
+   previous index's rebuild cache is consulted: per-pair geometry is
+   valid when both records are unchanged, per-subdomain FMH-trees when
+   the sorted id sequence recurs (differing digests are patched). The
+   structure itself (I-tree shape, sorted lists) is still derived from
+   scratch — the seeded insertion shuffle ranges over the full pair
+   set, so any splice-based shortcut would diverge from a fresh [build]
+   of the same table, and bit-identity with the fresh build is the
+   invariant that makes increments (and crash recovery) safe to serve.
+   Everything consulted under the pool is read-only — pool tasks stay
+   pure. *)
+let build_structure ~seed ?fmh_storage ?prev ~pool table =
+  let records = Table.records table in
+  let n = Array.length records in
+  let ids = Array.map Record.id records in
+  let memo = Memo.create (Table.domain table) in
+  let use, digest_at =
+    match prev with
+    | None -> (Memo.use ~ids memo, fun i -> Record.digest records.(i))
+    | Some t ->
+      let by_id = Hashtbl.create (Array.length t.rdig) in
+      Array.iteri
+        (fun i r -> Hashtbl.replace by_id (Record.id r) (r, t.rdig.(i)))
+        (Table.records t.table);
+      let old = Array.map (fun r -> Hashtbl.find_opt by_id (Record.id r)) records in
+      let same =
+        Array.mapi
+          (fun i r ->
+            match old.(i) with Some (r', _) -> Record.equal r' r | None -> false)
+          records
+      in
+      ( Memo.use ~prev:t.memo ~changed:(fun i -> not same.(i)) ~ids memo,
+        fun i ->
+          if same.(i) then match old.(i) with
+            | Some (_, d) -> d
+            | None -> assert false
+          else Record.digest records.(i) )
+  in
+  let itree = Itree.build ~seed ~memo:use (Table.domain table) (Table.functions table) in
   (* digest once, in parallel, and thread the array into the sorting
      build (which used to re-hash every record) *)
-  let rdig = Aqv_par.Pool.parallel_map pool Record.digest (Table.records table) in
-  let sorting = Sorting.build ?storage:fmh_storage ~pool ~rdig table itree in
-  (itree, sorting, rdig)
+  let rdig = Aqv_par.Pool.parallel_init pool n digest_at in
+  let sorting = Sorting.build ?storage:fmh_storage ~pool ~rdig ~memo:use table itree in
+  (itree, sorting, rdig, memo)
 
 (* The assembled index keeps each signing digest next to its signature:
    the incremental [apply] keys its signature reuse on them, and tests
    compare them directly under fake signers. *)
-let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
+let assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sorting rdig
     ~sign_root ~sign_leaf =
   let n_leaves = Table.size table + 2 in
   match scheme with
@@ -159,6 +201,7 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
       leaf_signatures = [||];
       root_digest = Some root_digest;
       leaf_digests = [||];
+      memo;
     }
   | Multi_signature ->
     let domain = Table.domain table in
@@ -196,53 +239,36 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
       leaf_signatures = Array.map snd signed;
       root_digest = None;
       leaf_digests = Array.map fst signed;
+      memo;
     }
 
 let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ?pool ~scheme table keypair =
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
-  let itree, sorting, rdig = build_structure ~seed ?fmh_storage ~pool table in
-  assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size ~pool table
-    itree sorting rdig
+  let itree, sorting, rdig, memo = build_structure ~seed ?fmh_storage ~pool table in
+  assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size ~pool ~memo
+    table itree sorting rdig
     ~sign_root:keypair.Signer.sign
     ~sign_leaf:(fun _ d -> keypair.Signer.sign d)
 
+let drop_rebuild_cache t = { t with memo = Memo.create (Table.domain t.table) }
+
 (* ---------------------- incremental maintenance --------------------- *)
 
-(* Rebuild the structure for an updated table, reusing the old index's
-   record digests for records the update did not touch. The structure
-   itself (I-tree shape, sorted lists) is rebuilt from scratch: the
-   seeded insertion shuffle ranges over the full pair set, so any
-   splice-based shortcut would diverge from what a fresh [build] of the
-   updated table produces — and bit-identity with the fresh build is the
-   invariant that makes increments safe to serve. The savings live in
-   the crypto: digests of untouched records are reused here, and
-   signatures whose signing digest is unchanged are reused in [apply].
-   The reuse map is read-only under the pool — pool tasks stay pure. *)
+(* Rebuild the structure for an updated table: [build_structure] with
+   the old index as [prev], so record digests of untouched records, the
+   per-pair geometry of unchanged record pairs and recurring FMH-trees
+   are all reused. The structure itself is still rebuilt from scratch —
+   see [build_structure] for why. *)
 let rebuild_structure ~pool t table =
-  let by_id = Hashtbl.create (Array.length t.rdig) in
-  Array.iteri
-    (fun i r -> Hashtbl.replace by_id (Record.id r) (r, t.rdig.(i)))
-    (Table.records t.table);
-  let itree = Itree.build ~seed:t.seed (Table.domain table) (Table.functions table) in
-  let rdig =
-    Aqv_par.Pool.parallel_map pool
-      (fun r ->
-        match Hashtbl.find_opt by_id (Record.id r) with
-        | Some (r', d) when Record.equal r' r -> d
-        | _ -> Record.digest r)
-      (Table.records table)
-  in
-  let sorting =
-    Sorting.build ~storage:(Sorting.storage t.sorting) ~pool ~rdig table itree
-  in
-  (itree, sorting, rdig)
+  build_structure ~seed:t.seed ~fmh_storage:(Sorting.storage t.sorting) ~prev:t ~pool
+    table
 
 let apply ?epoch ?pool keypair changes t =
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let epoch = match epoch with Some e -> e | None -> t.epoch + 1 in
   if epoch < t.epoch then invalid_arg "Ifmh.apply: epoch must not decrease";
   let table = Update.apply_table changes t.table in
-  let itree, sorting, rdig = rebuild_structure ~pool t table in
+  let itree, sorting, rdig, memo = rebuild_structure ~pool t table in
   (* Deterministic signing (PKCS#1-style RSA padding, RFC-6979-style DSA
      nonces) makes signature reuse sound: same digest, same bytes. Only
      digests the update did not change hit the cache — epoch and
@@ -257,7 +283,7 @@ let apply ?epoch ?pool keypair changes t =
     match Hashtbl.find_opt cache d with Some s -> s | None -> keypair.Signer.sign d
   in
   assemble ~scheme:t.scheme ~seed:t.seed ~epoch
-    ~signature_size:keypair.Signer.signature_size ~pool table itree sorting rdig
+    ~signature_size:keypair.Signer.signature_size ~pool ~memo table itree sorting rdig
     ~sign_root:sign
     ~sign_leaf:(fun _ d -> sign d)
 
@@ -284,6 +310,8 @@ let delta ~changes (t : t) =
     root_signature = t.root_signature;
     leaf_signatures = t.leaf_signatures;
   }
+
+let delta_with_changes changes d = { d with changes }
 
 let encode_delta w d =
   let module W = Aqv_util.Wire in
@@ -315,7 +343,7 @@ let apply_delta ?pool (d : delta) (t : t) =
     | table -> table
     | exception Invalid_argument m -> failwith ("Ifmh.apply_delta: " ^ m)
   in
-  let itree, sorting, rdig = rebuild_structure ~pool t table in
+  let itree, sorting, rdig, memo = rebuild_structure ~pool t table in
   (match t.scheme with
   | One_signature ->
     if d.root_signature = None then failwith "Ifmh.apply_delta: missing signature"
@@ -323,7 +351,7 @@ let apply_delta ?pool (d : delta) (t : t) =
     if Array.length d.leaf_signatures <> Itree.leaf_count itree then
       failwith "Ifmh.apply_delta: signature count mismatch");
   assemble ~scheme:t.scheme ~seed:t.seed ~epoch:d.epoch ~signature_size:t.signature_size
-    ~pool table itree sorting rdig
+    ~pool ~memo table itree sorting rdig
     ~sign_root:(fun _ -> Option.value ~default:"" d.root_signature)
     ~sign_leaf:(fun id _ -> d.leaf_signatures.(id))
 
@@ -371,13 +399,13 @@ let load ?fmh_storage ?pool r =
     | t -> t
     | exception Invalid_argument m -> failwith ("Ifmh.load: " ^ m)
   in
-  let itree, sorting, rdig = build_structure ~seed ?fmh_storage ~pool table in
+  let itree, sorting, rdig, memo = build_structure ~seed ?fmh_storage ~pool table in
   if scheme = Multi_signature && Array.length leaf_signatures <> Itree.leaf_count itree then
     failwith "Ifmh.load: signature count mismatch";
   (* attach the stored signatures through the same assembly path *)
   let stored_root = root_signature in
   let t =
-    assemble ~scheme ~seed ~epoch ~signature_size ~pool table itree sorting rdig
+    assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sorting rdig
       ~sign_root:(fun _ -> Option.value ~default:"" stored_root)
       ~sign_leaf:(fun id _ -> leaf_signatures.(id))
   in

@@ -69,7 +69,16 @@ val build :
     property for random update sequences, both schemes, 1-D and 2-D,
     sequential and parallel. Signature reuse is sound because signing is
     deterministic, and never crosses a version bump because every
-    signing digest commits the epoch and leaf count. *)
+    signing digest commits the epoch and leaf count.
+
+    Beyond the crypto reuse, every index carries a {!Memo} rebuild
+    cache: per-pair geometry (differences, domain-box classifications,
+    1-D crossing points) keyed by the pair's record ids and valid while
+    both records are unchanged, and per-subdomain FMH-trees keyed by
+    their sorted id sequence, patched where record digests changed. The
+    cache holds only pure function results keyed by their full input
+    content — never tree structure — so reuse is bit-identical to
+    recomputing; cache hits and misses tick {!Aqv_util.Metrics}. *)
 
 val apply :
   ?epoch:int ->
@@ -99,6 +108,13 @@ val modify :
   ?epoch:int -> ?pool:Aqv_par.Pool.pool -> Aqv_crypto.Signer.keypair ->
   Aqv_db.Record.t -> t -> t
 
+val drop_rebuild_cache : t -> t
+(** The same index with an empty {!Memo} rebuild cache: the next
+    {!apply} or {!apply_delta} on it recomputes every pair geometry and
+    FMH-tree. The cache holds only pure function results, so dropping
+    it never changes an output — tests use this to assert cached and
+    cache-cold rebuilds are byte-identical. *)
+
 type delta
 (** What the owner ships to the storage server after an {!apply}: the
     change list, the new epoch, and the new signatures. The server
@@ -111,6 +127,14 @@ val delta : changes:Update.change list -> t -> delta
 
 val delta_epoch : delta -> int
 val delta_changes : delta -> Update.change list
+
+val delta_with_changes : Update.change list -> delta -> delta
+(** [d]'s epoch and signatures over a different change list. Coalesced
+    recovery folds a whole frame log into one net change list
+    ({!Update.compose_all}) and replays it as a single delta carrying
+    the {e last} frame's epoch and signatures — sound because only the
+    final version is served, and its signatures cover the final
+    structure regardless of how many rebuilds produced it. *)
 
 val apply_delta : ?pool:Aqv_par.Pool.pool -> delta -> t -> t
 (** Server-side replay: rebuild the updated structure and attach the

@@ -29,17 +29,19 @@ let intersection_count t = t.intersections
 let fresh_leaf region cons = { region; h = ""; kind = Leaf { id = -1; cons } }
 
 (* Insert intersection (i, j) with difference [diff]: split every leaf
-   whose region the hyperplane properly crosses. *)
-let insert t i j diff =
+   whose region the hyperplane properly crosses. [root_cls] is the
+   memoized classification against the whole domain box — exactly what
+   the walk would compute at the root, whose region is the box. *)
+let insert ?root_cls t i j diff =
   let split_any = ref false in
-  let rec go node =
-    match Region.classify node.region diff with
+  let rec go ~known node =
+    match (match known with Some c -> c | None -> Region.classify node.region diff) with
     | Region.Pos | Region.Neg -> ()
     | Region.Split ->
       (match node.kind with
       | Inode n ->
-        go n.above;
-        go n.below
+        go ~known:None n.above;
+        go ~known:None n.below
       | Leaf lf ->
         let region_a =
           match Region.add node.region (Halfspace.above diff) with
@@ -57,7 +59,7 @@ let insert t i j diff =
         t.nodes <- t.nodes + 2;
         split_any := true)
   in
-  go t.root;
+  go ~known:root_cls t.root;
   if !split_any then t.intersections <- t.intersections + 1
 
 let collect_leaves root =
@@ -72,7 +74,7 @@ let collect_leaves root =
   go root;
   !acc
 
-let build ?(seed = 0x17EEL) ?(order = `Shuffled) dom fns =
+let build ?(seed = 0x17EEL) ?(order = `Shuffled) ?memo dom fns =
   let n = Array.length fns in
   let root = fresh_leaf (Region.of_domain dom) [] in
   let t = { root; functions = fns; domain = dom; leaf_nodes = [||]; intersections = 0; nodes = 1 } in
@@ -90,10 +92,25 @@ let build ?(seed = 0x17EEL) ?(order = `Shuffled) dom fns =
   (match order with
   | `Shuffled -> Aqv_util.Prng.shuffle (Aqv_util.Prng.create seed) pairs
   | `Lexicographic -> ());
+  (* per-pair geometry via the rebuild cache: a carried-over entry is a
+     pure function of the two (unchanged) records and the domain, so
+     reuse cannot perturb the insertion's outcome. A pair whose
+     hyperplane misses the domain box skips the walk entirely — that is
+     exactly what the walk's root classification would conclude. *)
+  let geom =
+    match memo with
+    | Some u -> fun i j -> Memo.geom u ~i ~j fns.(i) fns.(j)
+    | None ->
+      let throwaway = Memo.use ~ids:(Array.init n Fun.id) (Memo.create dom) in
+      fun i j -> Memo.geom throwaway ~i ~j fns.(i) fns.(j)
+  in
   Array.iter
     (fun (i, j) ->
-      let diff = Linfun.sub fns.(i) fns.(j) in
-      if not (Linfun.is_zero diff) then insert t i j diff)
+      let g = geom i j in
+      match g.Memo.box with
+      | None -> () (* identical functions: no hyperplane *)
+      | Some (Region.Pos | Region.Neg) -> () (* never crosses the box *)
+      | Some Region.Split -> insert ~root_cls:Region.Split t i j g.Memo.diff)
     pairs;
   let leaf_nodes = Array.of_list (collect_leaves root) in
   (* in 1-D, order leaves left to right so leaf ids align with the

@@ -38,6 +38,7 @@ type t
 val build :
   ?seed:int64 ->
   ?order:[ `Shuffled | `Lexicographic ] ->
+  ?memo:Memo.use ->
   Aqv_num.Domain.t ->
   Aqv_num.Linfun.t array ->
   t
@@ -46,7 +47,15 @@ val build :
     the tree's internal shape/depth; [`Lexicographic] exists for the
     depth ablation). Identical functions (zero difference) induce no
     split. In dimension 1, leaf ids number the subdomain intervals left
-    to right. *)
+    to right.
+
+    [memo] supplies the {!Memo} rebuild cache: per-pair differences and
+    box classifications are looked up before being recomputed, and
+    every result is recorded for the next rebuild. Reused entries are
+    pure functions of unchanged inputs, so the built tree is
+    bit-identical with or without the cache. Omitted, a private
+    throwaway memo is used (the 1-D sweep in {!Sorting} still cannot
+    share it). *)
 
 val root : t -> node
 val functions : t -> Aqv_num.Linfun.t array

@@ -57,22 +57,32 @@ let fmh_root t id =
 
 (* ------------------------- 1-D sweep build ------------------------- *)
 
-let build_1d ~storage table itree rdig =
+let build_1d ?memo ~storage table itree rdig =
   let fns = Table.functions table in
   let n = Array.length fns in
   let dom = Table.domain table in
   let dlo = Aqv_num.Domain.lo dom 0 and dhi = Aqv_num.Domain.hi dom 0 in
-  (* crossing events strictly inside the domain, keyed by root *)
+  (* crossing events strictly inside the domain, keyed by root. The
+     rebuild cache already holds each pair's difference and crossing
+     point (I-tree insertion just walked the same pairs), so the sweep
+     re-derives neither. *)
+  let root_of =
+    match memo with
+    | Some u -> fun i j -> (Memo.geom u ~i ~j fns.(i) fns.(j)).Memo.root1
+    | None ->
+      fun i j ->
+        let diff = Linfun.sub fns.(i) fns.(j) in
+        let a = Linfun.coeff diff 0 and b = Linfun.const diff in
+        if Q.sign a = 0 then None else Some (Q.div (Q.neg b) a)
+  in
   let events = ref [] in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let diff = Linfun.sub fns.(i) fns.(j) in
-      let a = Linfun.coeff diff 0 and b = Linfun.const diff in
-      if Q.sign a <> 0 then begin
-        let root = Q.div (Q.neg b) a in
+      match root_of i j with
+      | None -> ()
+      | Some root ->
         if Q.compare dlo root < 0 && Q.compare root dhi < 0 then
           events := (root, i, j) :: !events
-      end
     done
   done;
   let events = Array.of_list !events in
@@ -100,13 +110,30 @@ let build_1d ~storage table itree rdig =
         | Snapshot -> Full { order; fmh = tree }
         | Recompute -> Thin { order; root = Mht.root tree })
   in
-  (* initial cell *)
+  (* initial cell: the only full FMH build of the sweep — every later
+     cell is O(g log n) sets over its neighbour — so it is the one
+     worth carrying over. The sweep's own snapshots are not registered:
+     looking them up would cost what the sweep already pays. *)
   let order0 = sorted_positions fns (cell_sample 0) in
   let pos = Array.make n 0 in
   Array.iteri (fun idx p -> pos.(p) <- idx) order0;
   let cur_order = Array.copy order0 in
   let pv = ref (Pvec.of_array order0) in
-  let tree = ref (fmh_of_order rdig order0) in
+  let tree =
+    ref
+      (match (memo, storage) with
+      | Some u, Snapshot -> (
+        let key = Memo.fmh_key u ~order:order0 in
+        match Memo.find_fmh u ~key ~rdig ~order:order0 with
+        | Some t ->
+          Memo.add_fmh u ~key ~rdig ~order:order0 t;
+          t
+        | None ->
+          let t = fmh_of_order rdig order0 in
+          Memo.add_fmh u ~key ~rdig ~order:order0 t;
+          t)
+      | _ -> fmh_of_order rdig order0)
+  in
   stash 0 !pv !tree;
   (* sweep: process events grouped by boundary *)
   let m = Array.length events in
@@ -175,21 +202,48 @@ let build_1d ~storage table itree rdig =
 
 (* Each leaf is a pure function of (functions, region, rdig), so the
    map fans out over the pool; results land by leaf id, making the
-   entry array bit-identical to a sequential build. *)
-let build_nd ~pool ~storage table itree rdig =
+   entry array bit-identical to a sequential build. Memo lookups inside
+   the tasks are read-only (pool tasks stay pure up to Metrics ticks);
+   registration into the new memo runs after the fan-out, on the
+   sequential path. *)
+let build_nd ?memo ~pool ~storage table itree rdig =
   let fns = Table.functions table in
-  Aqv_par.Pool.parallel_map pool
-    (fun (node : Itree.node) ->
-      let sample = Aqv_num.Region.interior_point node.Itree.region in
-      let order = sorted_positions fns sample in
-      let tree = fmh_of_order rdig order in
-      let pv = Pvec.of_array order in
-      match storage with
-      | Snapshot -> Full { order = pv; fmh = tree }
-      | Recompute -> Thin { order = pv; root = Mht.root tree })
-    (Itree.leaves itree)
+  let built =
+    Aqv_par.Pool.parallel_map pool
+      (fun (node : Itree.node) ->
+        let sample = Aqv_num.Region.interior_point node.Itree.region in
+        let order = sorted_positions fns sample in
+        let tree, reg =
+          match (memo, storage) with
+          | Some u, Snapshot -> (
+            let key = Memo.fmh_key u ~order in
+            match Memo.find_fmh u ~key ~rdig ~order with
+            | Some t -> (t, Some (key, order, t))
+            | None ->
+              let t = fmh_of_order rdig order in
+              (t, Some (key, order, t)))
+          | _ -> (fmh_of_order rdig order, None)
+        in
+        let pv = Pvec.of_array order in
+        let entry =
+          match storage with
+          | Snapshot -> Full { order = pv; fmh = tree }
+          | Recompute -> Thin { order = pv; root = Mht.root tree }
+        in
+        (entry, reg))
+      (Itree.leaves itree)
+  in
+  (match memo with
+  | Some u ->
+    Array.iter
+      (function
+        | _, Some (key, order, tree) -> Memo.add_fmh u ~key ~rdig ~order tree
+        | _, None -> ())
+      built
+  | None -> ());
+  Array.map fst built
 
-let build ?(storage = Snapshot) ?pool ?rdig table itree =
+let build ?(storage = Snapshot) ?pool ?rdig ?memo table itree =
   if Table.size table < 1 then invalid_arg "Sorting.build: empty table";
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let rdig =
@@ -203,7 +257,7 @@ let build ?(storage = Snapshot) ?pool ?rdig table itree =
     | None -> Aqv_par.Pool.parallel_map pool Record.digest (Table.records table)
   in
   let entries =
-    if Table.dim table = 1 then build_1d ~storage table itree rdig
-    else build_nd ~pool ~storage table itree rdig
+    if Table.dim table = 1 then build_1d ?memo ~storage table itree rdig
+    else build_nd ?memo ~pool ~storage table itree rdig
   in
   { entries; records = Table.size table; rdig; storage }

@@ -36,6 +36,7 @@ val build :
   ?storage:storage ->
   ?pool:Aqv_par.Pool.pool ->
   ?rdig:string array ->
+  ?memo:Memo.use ->
   Aqv_db.Table.t ->
   Itree.t ->
   t
@@ -44,6 +45,15 @@ val build :
     precomputed record digests (one per record, in table order) so a
     caller that already hashed the records — {!Ifmh.build} does — need
     not pay for it twice; omitted, the digests are computed here.
+
+    [memo] supplies the {!Memo} rebuild cache. The 1-D sweep reads each
+    pair's crossing point from it (shared with the I-tree insertion
+    that just computed them) and carries over the initial cell's
+    FMH-tree; in dimension >= 2 every leaf's FMH-tree is looked up by
+    its sorted id sequence and patched where record digests changed.
+    FMH entries are consulted and recorded only under [Snapshot]
+    storage — [Recompute] trades those hashes for memory on purpose.
+    Reuse is bit-identical to hashing from scratch.
     @raise Invalid_argument if the table and tree disagree or [rdig]
     has the wrong length. *)
 

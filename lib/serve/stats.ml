@@ -23,7 +23,10 @@ type t = {
   mutable log_appends : int;
   mutable recoveries : int;
   mutable torn_tail_truncations : int;
+  mutable frames_coalesced : int;
   mutable compactions : int;
+  mutable memo_pair_hits : int;
+  mutable memo_fmh_hits : int;
   mutable faults_delay : int;
   mutable faults_truncate : int;
   mutable faults_drop : int;
@@ -51,7 +54,10 @@ let create () =
     log_appends = 0;
     recoveries = 0;
     torn_tail_truncations = 0;
+    frames_coalesced = 0;
     compactions = 0;
+    memo_pair_hits = 0;
+    memo_fmh_hits = 0;
     faults_delay = 0;
     faults_truncate = 0;
     faults_drop = 0;
@@ -85,11 +91,17 @@ let index_swapped t = locked t (fun () -> t.index_swaps <- t.index_swaps + 1)
 let log_appended t = locked t (fun () -> t.log_appends <- t.log_appends + 1)
 let compacted t = locked t (fun () -> t.compactions <- t.compactions + 1)
 
-let recovered t ~torn_tail =
+let recovered t ~torn_tail ~coalesced =
   locked t (fun () ->
       t.recoveries <- t.recoveries + 1;
+      t.frames_coalesced <- t.frames_coalesced + coalesced;
       if torn_tail then
         t.torn_tail_truncations <- t.torn_tail_truncations + 1)
+
+let add_memo_hits t ~pairs ~fmh =
+  locked t (fun () ->
+      t.memo_pair_hits <- t.memo_pair_hits + pairs;
+      t.memo_fmh_hits <- t.memo_fmh_hits + fmh)
 
 let on_fault t kind =
   locked t (fun () ->
@@ -120,7 +132,10 @@ let to_assoc t =
           ("log_appends", t.log_appends);
           ("recoveries", t.recoveries);
           ("torn_tail_truncations", t.torn_tail_truncations);
+          ("frames_coalesced", t.frames_coalesced);
           ("compactions", t.compactions);
+          ("memo_pair_hits", t.memo_pair_hits);
+          ("memo_fmh_hits", t.memo_fmh_hits);
           ("faults_delay", t.faults_delay);
           ("faults_truncate", t.faults_truncate);
           ("faults_drop", t.faults_drop);

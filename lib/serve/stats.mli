@@ -34,10 +34,16 @@ val index_swapped : t -> unit
 val log_appended : t -> unit
 (** A delta frame was fsync'd to the write-ahead log before the ack. *)
 
-val recovered : t -> torn_tail:bool -> unit
+val recovered : t -> torn_tail:bool -> coalesced:int -> unit
 (** The serving index was recovered from a durable store at startup;
     [torn_tail] records whether a partial trailing log frame had to be
-    truncated. *)
+    truncated, [coalesced] how many log frames were folded into the
+    single recovery rebuild (0 under sequential replay). *)
+
+val add_memo_hits : t -> pairs:int -> fmh:int -> unit
+(** Accumulate rebuild-cache hits (pair geometry / FMH-trees, from the
+    {!Aqv_util.Metrics} delta around a republish) so remote clients see
+    them in [Protocol.Stats]. *)
 
 val compacted : t -> unit
 (** The store rewrote its snapshot and reset the log. *)

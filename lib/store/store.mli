@@ -11,7 +11,10 @@
     - {!open_dir} recovery replays the log with [Ifmh.apply_delta],
       which rebuilds the structure exactly as the hot-swap path did, so
       the recovered index is byte-identical to what a never-crashed
-      server would serve (the apply == rebuild invariant);
+      server would serve (the apply == rebuild invariant). By default
+      the surviving frames are {e coalesced} first — folded into one
+      net change list with [Update.compose] — so a k-frame log costs
+      one rebuild, not k, with the identical final index;
     - a torn log tail (crash mid-append) is truncated; every other
       corruption mode is a typed {!Error.t} and nothing is served.
 
@@ -27,16 +30,33 @@ type policy = {
 }
 
 val default_policy : policy
-(** 64 frames / 16 MiB. Replaying a frame costs a full structure
-    rebuild (the apply == rebuild invariant is bought by rebuilding),
-    so recovery time grows linearly in log length and aggressive
-    compaction is the right default — see bench [abl-recovery]. *)
+(** 256 frames / 64 MiB. Coalesced replay folds the whole log into a
+    single rebuild, so recovery cost is nearly flat in log length and
+    the log can run an order of magnitude longer than under the old
+    frame-by-frame replay (64 frames / 16 MiB) before compaction pays
+    for itself — see bench [abl-recovery]. *)
+
+type replay_mode = [ `Coalesced | `Sequential ]
+(** How recovery replays the log. [`Coalesced] (the default) folds the
+    surviving frames into one net change list ([Update.compose]) and
+    rebuilds once, carrying the last frame's epoch and signatures;
+    [`Sequential] rebuilds frame by frame. Both land on byte-identical
+    indexes and reject invalid logs at the same frame with the same
+    typed error — except checks only an intermediate version could
+    trip (signature counts, transient emptiness), which coalescing
+    defers to the final [Ifmh.apply_delta] and attributes to the last
+    accepted frame; intermediate versions are never served.
+    [`Sequential] exists for that identity test and for debugging a
+    log frame by frame. *)
 
 type recovery = {
   snapshot_epoch : int;
   final_epoch : int;  (** epoch after replay — what the engine serves *)
   replayed : int;  (** frames applied *)
   skipped : int;  (** stale frames below the snapshot epoch (torn compaction) *)
+  coalesced : int;
+      (** frames folded into the single recovery rebuild — [replayed]
+          under [`Coalesced], 0 under [`Sequential] *)
   torn_tail_bytes : int;  (** garbage truncated from the log tail *)
 }
 
@@ -52,10 +72,12 @@ val open_dir :
   ?pool:Aqv_par.Pool.pool ->
   ?policy:policy ->
   ?fault:Fault.t ->
+  ?replay:replay_mode ->
   string ->
   (t * Aqv.Ifmh.t * recovery, Error.t) result
 (** Recover: validate the snapshot, scan the log, truncate a torn tail,
-    replay surviving deltas. Never raises on bad input. *)
+    replay surviving deltas (default [`Coalesced]: one rebuild for the
+    whole log). Never raises on bad input. *)
 
 val append : t -> base:Aqv.Ifmh.t -> Aqv.Ifmh.delta -> unit
 (** Log one accepted delta ([base] is the index it applies to; its
@@ -98,9 +120,13 @@ type report = {
   r_log_frames : int;
   r_replayed : int;
   r_skipped : int;
+  r_coalesced : int;
   r_torn_tail_bytes : int;
 }
 
-val fsck : ?pool:Aqv_par.Pool.pool -> string -> (report, Error.t) result
+val fsck :
+  ?pool:Aqv_par.Pool.pool -> ?replay:replay_mode -> string ->
+  (report, Error.t) result
 (** Read-only health check: validates snapshot + log and dry-runs the
-    replay without truncating or modifying anything. *)
+    replay (default [`Coalesced]) without truncating or modifying
+    anything. *)

@@ -7,6 +7,10 @@ type snapshot = {
   fmh_nodes : int;
   mesh_cells : int;
   bytes_out : int;
+  memo_pair_hits : int;
+  memo_pair_misses : int;
+  memo_fmh_hits : int;
+  memo_fmh_misses : int;
 }
 
 (* Atomic, not plain refs: library code ticks these from whatever domain
@@ -21,6 +25,10 @@ let itree_nodes = Atomic.make 0
 let fmh_nodes = Atomic.make 0
 let mesh_cells = Atomic.make 0
 let bytes_out = Atomic.make 0
+let memo_pair_hits = Atomic.make 0
+let memo_pair_misses = Atomic.make 0
+let memo_fmh_hits = Atomic.make 0
+let memo_fmh_misses = Atomic.make 0
 
 let reset () =
   Atomic.set hash_ops 0;
@@ -30,7 +38,11 @@ let reset () =
   Atomic.set itree_nodes 0;
   Atomic.set fmh_nodes 0;
   Atomic.set mesh_cells 0;
-  Atomic.set bytes_out 0
+  Atomic.set bytes_out 0;
+  Atomic.set memo_pair_hits 0;
+  Atomic.set memo_pair_misses 0;
+  Atomic.set memo_fmh_hits 0;
+  Atomic.set memo_fmh_misses 0
 
 let snapshot () =
   {
@@ -42,6 +54,10 @@ let snapshot () =
     fmh_nodes = Atomic.get fmh_nodes;
     mesh_cells = Atomic.get mesh_cells;
     bytes_out = Atomic.get bytes_out;
+    memo_pair_hits = Atomic.get memo_pair_hits;
+    memo_pair_misses = Atomic.get memo_pair_misses;
+    memo_fmh_hits = Atomic.get memo_fmh_hits;
+    memo_fmh_misses = Atomic.get memo_fmh_misses;
   }
 
 let diff a b =
@@ -54,14 +70,22 @@ let diff a b =
     fmh_nodes = a.fmh_nodes - b.fmh_nodes;
     mesh_cells = a.mesh_cells - b.mesh_cells;
     bytes_out = a.bytes_out - b.bytes_out;
+    memo_pair_hits = a.memo_pair_hits - b.memo_pair_hits;
+    memo_pair_misses = a.memo_pair_misses - b.memo_pair_misses;
+    memo_fmh_hits = a.memo_fmh_hits - b.memo_fmh_hits;
+    memo_fmh_misses = a.memo_fmh_misses - b.memo_fmh_misses;
   }
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>hash_ops=%d hash_bytes=%d@ sign_ops=%d verify_ops=%d@ \
-     itree_nodes=%d fmh_nodes=%d mesh_cells=%d@ bytes_out=%d@]"
+     itree_nodes=%d fmh_nodes=%d mesh_cells=%d@ bytes_out=%d@ \
+     memo_pairs=%d/%d memo_fmh=%d/%d@]"
     s.hash_ops s.hash_bytes s.sign_ops s.verify_ops s.itree_nodes
-    s.fmh_nodes s.mesh_cells s.bytes_out
+    s.fmh_nodes s.mesh_cells s.bytes_out s.memo_pair_hits
+    (s.memo_pair_hits + s.memo_pair_misses)
+    s.memo_fmh_hits
+    (s.memo_fmh_hits + s.memo_fmh_misses)
 
 let add n v = ignore (Atomic.fetch_and_add n v : int)
 
@@ -75,5 +99,9 @@ let add_itree_nodes n = add itree_nodes n
 let add_fmh_nodes n = add fmh_nodes n
 let add_mesh_cells n = add mesh_cells n
 let add_bytes_out n = add bytes_out n
+let add_memo_pair_hit () = Atomic.incr memo_pair_hits
+let add_memo_pair_miss () = Atomic.incr memo_pair_misses
+let add_memo_fmh_hit () = Atomic.incr memo_fmh_hits
+let add_memo_fmh_miss () = Atomic.incr memo_fmh_misses
 
 let total_node_visits s = s.itree_nodes + s.fmh_nodes + s.mesh_cells

@@ -23,6 +23,14 @@ type snapshot = {
   fmh_nodes : int;  (** FMH-tree nodes visited *)
   mesh_cells : int;  (** signature-mesh cells scanned *)
   bytes_out : int;  (** serialized bytes produced (VO / index) *)
+  memo_pair_hits : int;
+      (** pair-geometry results carried over from the previous index
+          during a rebuild (see [Aqv.Memo]) *)
+  memo_pair_misses : int;  (** pair-geometry results computed fresh *)
+  memo_fmh_hits : int;
+      (** subdomain FMH-trees reused (possibly patched) from the
+          previous index during a rebuild *)
+  memo_fmh_misses : int;  (** subdomain FMH-trees hashed from scratch *)
 }
 
 val reset : unit -> unit
@@ -45,6 +53,10 @@ val add_itree_nodes : int -> unit
 val add_fmh_nodes : int -> unit
 val add_mesh_cells : int -> unit
 val add_bytes_out : int -> unit
+val add_memo_pair_hit : unit -> unit
+val add_memo_pair_miss : unit -> unit
+val add_memo_fmh_hit : unit -> unit
+val add_memo_fmh_miss : unit -> unit
 
 val total_node_visits : snapshot -> int
 (** [itree_nodes + fmh_nodes + mesh_cells]: the paper's "server cost". *)

@@ -256,7 +256,9 @@ let test_wal_roundtrip () =
 (* Truncate the log at EVERY byte offset: scan must always succeed and
    yield a prefix of the appended frames; full recovery, checked once
    per distinct prefix length, must serve exactly the epoch that prefix
-   reaches. *)
+   reaches — under BOTH replay modes, byte-identically, with the
+   coalesced counter reporting how many frames were folded (0 when
+   replaying frame-by-frame). *)
 let prop_torn_tail ~dims ~scheme seed =
   with_dir (fun dir ->
       let prng = Prng.create (Int64.of_int seed) in
@@ -281,22 +283,31 @@ let prop_torn_tail ~dims ~scheme seed =
           end
           else if not checked.(m) then begin
             checked.(m) <- true;
-            match Store.open_dir dir with
-            | Error e ->
-              ok := false;
-              Printf.printf "recovery at cut %d errored: %s\n" cut
-                (Serror.to_string e)
-            | Ok (store, index, recovery) ->
-              Store.close store;
-              if not (String.equal (save_bytes index) images.(m)) then begin
-                ok := false;
-                Printf.printf "cut %d: recovered bytes differ at prefix %d\n" cut m
-              end;
-              if recovery.Store.final_epoch <> 1 + m then begin
-                ok := false;
-                Printf.printf "cut %d: epoch %d, want %d\n" cut
-                  recovery.Store.final_epoch (1 + m)
-              end
+            List.iter
+              (fun (mode, mode_name, want_coalesced) ->
+                match Store.open_dir ~replay:mode dir with
+                | Error e ->
+                  ok := false;
+                  Printf.printf "%s recovery at cut %d errored: %s\n" mode_name
+                    cut (Serror.to_string e)
+                | Ok (store, index, recovery) ->
+                  Store.close store;
+                  if not (String.equal (save_bytes index) images.(m)) then begin
+                    ok := false;
+                    Printf.printf "cut %d: %s recovered bytes differ at prefix %d\n"
+                      cut mode_name m
+                  end;
+                  if recovery.Store.final_epoch <> 1 + m then begin
+                    ok := false;
+                    Printf.printf "cut %d: %s epoch %d, want %d\n" cut mode_name
+                      recovery.Store.final_epoch (1 + m)
+                  end;
+                  if recovery.Store.coalesced <> want_coalesced then begin
+                    ok := false;
+                    Printf.printf "cut %d: %s coalesced %d, want %d\n" cut
+                      mode_name recovery.Store.coalesced want_coalesced
+                  end)
+              [ (`Coalesced, "coalesced", m); (`Sequential, "sequential", 0) ]
           end)
       done;
       (* every prefix length must actually occur (cut at exact frame
@@ -408,6 +419,89 @@ let test_recovery_skips_stale_frames () =
           (hex (save_bytes index));
         check Alcotest.int "stale frame skipped" 1 recovery.Store.skipped;
         check Alcotest.int "nothing replayed" 0 recovery.Store.replayed)
+
+(* Coalescing must decide staleness per frame BEFORE folding: here the
+   stale frame inserts id 500, which the advanced snapshot already
+   contains — folding it into the net change list would make the single
+   rebuild fail with "insert of existing id" (or worse, double-apply).
+   The skipped frame must stay out of the fold entirely. *)
+let test_coalesce_skips_stale_frame () =
+  with_dir (fun dir ->
+      let prng = Prng.create 71L in
+      let table = gen_table ~dims:1 prng in
+      let index1 = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table fake_keypair in
+      let store = Store.publish ~dir index1 in
+      let changes_a =
+        [ Update.Insert (Record.make ~id:500 ~attrs:[| Q.of_int 3; Q.of_int 7 |] ()) ]
+      in
+      let index2 = Ifmh.apply fake_keypair changes_a index1 in
+      Store.append store ~base:index1 (Ifmh.delta ~changes:changes_a index2);
+      let changes_b =
+        [ Update.Modify (Record.make ~id:500 ~attrs:[| Q.of_int 5; Q.of_int 2 |] ()) ]
+      in
+      let index3 = Ifmh.apply fake_keypair changes_b index2 in
+      Store.append store ~base:index2 (Ifmh.delta ~changes:changes_b index3);
+      Store.close store;
+      (* crash mid-compaction: the snapshot already carries epoch 2, the
+         log still holds the epoch-1 frame ahead of the live one *)
+      Snapshot.write ~path:(Store.snapshot_path dir) index2;
+      List.iter
+        (fun (mode, want_coalesced) ->
+          match Store.open_dir ~replay:mode dir with
+          | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
+          | Ok (store, index, recovery) ->
+            Store.close store;
+            check Alcotest.string "live frame replayed over new snapshot"
+              (hex (save_bytes index3))
+              (hex (save_bytes index));
+            check Alcotest.int "stale frame skipped" 1 recovery.Store.skipped;
+            check Alcotest.int "live frame replayed" 1 recovery.Store.replayed;
+            check Alcotest.int "only the live frame coalesced" want_coalesced
+              recovery.Store.coalesced)
+        [ (`Coalesced, 1); (`Sequential, 0) ])
+
+(* Inserts, deletes, modifies and a delete-then-reinsert spread over
+   several frames: the coalesced single-rebuild recovery, the
+   frame-by-frame recovery, and the hot-swap path must all land on the
+   same bytes. *)
+let test_coalesce_mixed_frames () =
+  with_dir (fun dir ->
+      let prng = Prng.create 72L in
+      let table = gen_table ~dims:1 prng in
+      let rec2 id a b = Record.make ~id ~attrs:[| Q.of_int a; Q.of_int b |] () in
+      let some_id = Record.id (Table.records table).(0) in
+      let index1 = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table fake_keypair in
+      let store = Store.publish ~dir index1 in
+      let frames =
+        [
+          [ Update.Insert (rec2 500 2 9); Update.Modify (rec2 some_id 1 1) ];
+          [ Update.Delete 500; Update.Insert (rec2 501 (-4) 6) ];
+          [ Update.Insert (rec2 500 8 0); Update.Modify (rec2 501 3 3) ];
+        ]
+      in
+      let final =
+        List.fold_left
+          (fun index changes ->
+            let updated = Ifmh.apply fake_keypair changes index in
+            Store.append store ~base:index (Ifmh.delta ~changes updated);
+            updated)
+          index1 frames
+      in
+      Store.close store;
+      List.iter
+        (fun (mode, want_coalesced) ->
+          match Store.open_dir ~replay:mode dir with
+          | Error e -> Alcotest.failf "recovery failed: %s" (Serror.to_string e)
+          | Ok (store, index, recovery) ->
+            Store.close store;
+            check Alcotest.string "recovered = hot-swapped"
+              (hex (save_bytes final))
+              (hex (save_bytes index));
+            check Alcotest.int "all frames replayed" 3 recovery.Store.replayed;
+            check Alcotest.int "coalesced count" want_coalesced
+              recovery.Store.coalesced;
+            check Alcotest.int "final epoch" 4 recovery.Store.final_epoch)
+        [ (`Coalesced, 3); (`Sequential, 0) ])
 
 let test_compaction_policy () =
   with_dir (fun dir ->
@@ -667,6 +761,10 @@ let () =
           Alcotest.test_case "epoch gap" `Quick test_recovery_epoch_gap;
           Alcotest.test_case "stale frames skipped" `Quick
             test_recovery_skips_stale_frames;
+          Alcotest.test_case "stale frame not folded" `Quick
+            test_coalesce_skips_stale_frame;
+          Alcotest.test_case "mixed frames coalesce" `Quick
+            test_coalesce_mixed_frames;
           Alcotest.test_case "compaction policy" `Quick test_compaction_policy;
         ] );
       ( "faults",

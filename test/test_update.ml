@@ -125,6 +125,22 @@ let prop_rebuild_equivalence ~dims ~scheme seed =
   let fresh = Ifmh.build ~scheme ~epoch:2 (Update.apply_table changes table) fake_keypair in
   identical ~scheme updated fresh
 
+(* The rebuild cache must be invisible in the output: an apply that
+   carries the previous index's memo and one that starts cache-cold
+   land on identical bytes and signing digests. *)
+let prop_cached_equals_cold ~dims ~scheme seed =
+  let prng = Prng.create (Int64.of_int seed) in
+  let n = if dims = 1 then 5 + Prng.int prng 10 else 4 + Prng.int prng 4 in
+  let table =
+    if dims = 1 then Workload.lines_1d ~slope_range:40 ~intercept_range:40 ~n prng
+    else Workload.scored ~attr_range:20 ~n ~dims prng
+  in
+  let base = Ifmh.build ~scheme ~epoch:1 table fake_keypair in
+  let changes = gen_changes ~dims prng table (1 + Prng.int prng 4) in
+  let cached = Ifmh.apply fake_keypair changes base in
+  let cold = Ifmh.apply fake_keypair changes (Ifmh.drop_rebuild_cache base) in
+  identical ~scheme cached cold
+
 let qtest name count gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
@@ -140,6 +156,14 @@ let equivalence_tests =
       (prop_rebuild_equivalence ~dims:2 ~scheme:Ifmh.One_signature);
     qtest "apply = rebuild (multi-sig, 2-D)" 100 arb_seed
       (prop_rebuild_equivalence ~dims:2 ~scheme:Ifmh.Multi_signature);
+    qtest "cached apply = cold apply (one-sig, 1-D)" 60 arb_seed
+      (prop_cached_equals_cold ~dims:1 ~scheme:Ifmh.One_signature);
+    qtest "cached apply = cold apply (multi-sig, 1-D)" 60 arb_seed
+      (prop_cached_equals_cold ~dims:1 ~scheme:Ifmh.Multi_signature);
+    qtest "cached apply = cold apply (one-sig, 2-D)" 50 arb_seed
+      (prop_cached_equals_cold ~dims:2 ~scheme:Ifmh.One_signature);
+    qtest "cached apply = cold apply (multi-sig, 2-D)" 50 arb_seed
+      (prop_cached_equals_cold ~dims:2 ~scheme:Ifmh.Multi_signature);
   ]
 
 (* Chained increments: many applies in a row stay equivalent to one
@@ -222,6 +246,111 @@ let test_change_codec () =
       | Update.Delete i1, Update.Delete i2 -> check Alcotest.int "id" i1 i2
       | _ -> Alcotest.fail "constructor mismatch")
     changes back
+
+(* --------------------------- compose algebra ------------------------ *)
+
+let tables_equal a b =
+  Table.size a = Table.size b
+  && Array.for_all2 Record.equal (Table.records a) (Table.records b)
+
+(* The property coalesced recovery stands on: composing two change
+   lists and applying once lands on the same table — positionally, not
+   just as a set — as applying them in sequence. Checked with and
+   without the [exists] validation, and against the n-ary fold. *)
+let prop_compose ~dims seed =
+  let prng = Prng.create (Int64.of_int seed) in
+  let n = if dims = 1 then 4 + Prng.int prng 8 else 3 + Prng.int prng 4 in
+  let table =
+    if dims = 1 then Workload.lines_1d ~slope_range:40 ~intercept_range:40 ~n prng
+    else Workload.scored ~attr_range:20 ~n ~dims prng
+  in
+  let a = gen_changes ~dims prng table (Prng.int prng 5) in
+  let t1 = Update.apply_table a table in
+  let b = gen_changes ~dims prng t1 (Prng.int prng 5) in
+  let c = gen_changes ~dims prng (Update.apply_table b t1) (Prng.int prng 4) in
+  let sequential = Update.apply_table c (Update.apply_table b t1) in
+  let exists id = Array.exists (fun r -> Record.id r = id) (Table.records table) in
+  let via_compose =
+    Update.apply_table (Update.compose ~exists (Update.compose ~exists a b) c) table
+  in
+  let via_compose_all = Update.apply_table (Update.compose_all ~exists [ a; b; c ]) table in
+  let unvalidated = Update.apply_table (Update.compose_all [ a; b; c ]) table in
+  tables_equal sequential via_compose
+  && tables_equal sequential via_compose_all
+  && tables_equal sequential unvalidated
+
+let test_compose_edges () =
+  let r id = line ~id 2 3 in
+  (* delete then re-insert must stay Delete-then-Insert: the record
+     moved to the appended end, a Modify would keep its base position *)
+  (match Update.compose [ Update.Delete 1 ] [ Update.Insert (r 1) ] with
+  | [ Update.Delete 1; Update.Insert _ ] -> ()
+  | c -> Alcotest.failf "delete+reinsert composed to %d change(s)" (List.length c));
+  (* insert then delete within the sequence vanishes *)
+  check Alcotest.int "insert+delete vanishes" 0
+    (List.length (Update.compose [ Update.Insert (r 9) ] [ Update.Delete 9 ]));
+  (* insert then modify collapses into inserting the final content *)
+  (match Update.compose [ Update.Insert (r 9) ] [ Update.Modify (line ~id:9 5 5) ] with
+  | [ Update.Insert r' ] ->
+    check Alcotest.bool "collapsed content" true (Record.equal r' (line ~id:9 5 5))
+  | c -> Alcotest.failf "insert+modify composed to %d change(s)" (List.length c));
+  (* modify then delete is just the delete *)
+  (match Update.compose [ Update.Modify (r 1) ] [ Update.Delete 1 ] with
+  | [ Update.Delete 1 ] -> ()
+  | c -> Alcotest.failf "modify+delete composed to %d change(s)" (List.length c));
+  (* validation against the base id set, same errors as sequential *)
+  let exists id = id < 3 in
+  let raises what f =
+    match f () with
+    | (_ : Update.change list) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  raises "insert existing" (fun () -> Update.compose ~exists [ Update.Insert (r 1) ] []);
+  raises "delete unknown" (fun () -> Update.compose ~exists [] [ Update.Delete 7 ]);
+  raises "modify unknown" (fun () -> Update.compose ~exists [ Update.Modify (r 7) ] []);
+  raises "double delete" (fun () ->
+      Update.compose ~exists [ Update.Delete 1 ] [ Update.Delete 1 ]);
+  (* transient emptiness composes: only the final table matters *)
+  check Alcotest.int "transient emptiness"
+    3
+    (List.length
+       (Update.compose ~exists:(fun id -> id = 0)
+          [ Update.Delete 0 ]
+          [ Update.Insert (r 5); Update.Insert (r 6) ]))
+
+(* ----------------------- rebuild cache counters --------------------- *)
+
+(* The cache must be visible in Metrics: a cached apply carries over
+   pair geometry (and FMH-trees where the order recurs); a cache-cold
+   apply ticks only misses. Counters are deterministic, so exact zeros
+   are assertable. *)
+let test_memo_counters () =
+  let table = Workload.lines_1d ~n:30 (Prng.create 40L) in
+  let base = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table fake_keypair in
+  let change = [ Update.Modify (line ~id:0 7 3) ] in
+  let cached, m_cached = metrics_during (fun () -> Ifmh.apply fake_keypair change base) in
+  let cold, m_cold =
+    metrics_during (fun () ->
+        Ifmh.apply fake_keypair change (Ifmh.drop_rebuild_cache base))
+  in
+  check Alcotest.bool "cached apply hits pair cache" true
+    (m_cached.Metrics.memo_pair_hits > 0);
+  check Alcotest.int "cold apply hits nothing" 0
+    (m_cold.Metrics.memo_pair_hits + m_cold.Metrics.memo_fmh_hits);
+  check Alcotest.bool "cached = cold output" true
+    (identical ~scheme:Ifmh.Multi_signature cached cold);
+  check Alcotest.bool "cache does not add hashing" true
+    (m_cached.Metrics.hash_ops <= m_cold.Metrics.hash_ops);
+  (* 2-D, content-identical modify: every pair and every leaf's
+     FMH-tree is reusable, so fmh hits must cover all leaves *)
+  let table2 = Workload.scored ~attr_range:20 ~n:8 ~dims:2 (Prng.create 41L) in
+  let base2 = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 table2 fake_keypair in
+  let noop_modify = [ Update.Modify (Table.records table2).(0) ] in
+  let _, m2 = metrics_during (fun () -> Ifmh.apply fake_keypair noop_modify base2) in
+  check Alcotest.int "2-D content-identical modify reuses every FMH"
+    (Itree.leaf_count (Ifmh.itree base2))
+    m2.Metrics.memo_fmh_hits;
+  check Alcotest.int "...and misses none" 0 m2.Metrics.memo_fmh_misses
 
 (* ------------------------ re-signing asymmetry ---------------------- *)
 
@@ -443,9 +572,16 @@ let () =
           Alcotest.test_case "change validation" `Quick test_change_validation;
           Alcotest.test_case "change codec" `Quick test_change_codec;
         ] );
+      ( "compose",
+        [
+          qtest "compose = sequential apply (1-D)" 150 arb_seed (prop_compose ~dims:1);
+          qtest "compose = sequential apply (2-D)" 100 arb_seed (prop_compose ~dims:2);
+          Alcotest.test_case "compose edge cases" `Quick test_compose_edges;
+        ] );
       ( "cost",
         [
           Alcotest.test_case "re-signing asymmetry" `Quick test_resign_asymmetry;
+          Alcotest.test_case "rebuild cache counters" `Quick test_memo_counters;
           Alcotest.test_case "mesh chain repair" `Quick test_mesh_apply;
         ] );
       ( "delta",
