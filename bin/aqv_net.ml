@@ -13,6 +13,22 @@
          cache, graceful shutdown on SIGINT/SIGTERM, periodic stats
          log). Accepted republishes are fsync'd to wal.log before the
          ack, so a crashed server restarts at the last acked epoch.
+         Every server is also a replication primary: followers can
+         Subscribe and tail its durably-acked deltas.
+
+     aqv_net serve --dir /tmp/aqv-replica --follow 127.0.0.1:7464
+         read replica: bootstrap from the primary if the dir is empty
+         (snapshot over the wire), then tail its delta stream through
+         the same WAL-append-then-swap path a primary uses — so the
+         replica is crash-recoverable exactly like a primary, and
+         byte-identical to it at every epoch. Wire republishes are
+         refused; only the stream mutates a replica.
+
+     aqv_net route --replicas 127.0.0.1:7464,127.0.0.1:7465 --port 7500
+         epoch-aware front door: forward request frames verbatim to
+         replicas at the best known epoch (never a lagging one), fail
+         over on refusal or timeout. Never decodes or re-signs
+         anything, so client verification spans it unchanged.
 
      aqv_net fsck --dir /tmp/aqv
          read-only store health check: validate snapshot + log, dry-run
@@ -54,6 +70,9 @@ module Faults = Aqv_serve.Faults
 module Stats = Aqv_serve.Stats
 module Store = Aqv_store.Store
 module Store_error = Aqv_store.Error
+module Hub = Aqv_cluster.Hub
+module Follower = Aqv_cluster.Follower
+module Router = Aqv_cluster.Router
 open Aqv
 open Cmdliner
 
@@ -133,28 +152,72 @@ let engine_config port once max_conns cache_capacity idle_timeout read_timeout
     faults;
   }
 
+(* "host:port" (or a bare port, meaning loopback) for --follow and
+   --replicas *)
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> (Unix.inet_addr_loopback, int_of_string s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (addr, port)
+
+(* A follower with an empty --dir bootstraps its store from the
+   primary: fetch a full snapshot over the wire, publish it locally
+   (durable before serving, like any publish), then recover from our
+   own store as usual — the recovery path stays the only way an index
+   reaches the engine. *)
+let open_or_bootstrap dir follow =
+  match (follow, Sys.file_exists (Store.snapshot_path dir)) with
+  | Some (host, port), false ->
+    Printf.printf "bootstrapping from %s:%d ...\n%!" (Unix.string_of_inet_addr host) port;
+    let index = Follower.bootstrap ~host ~port () in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    Store.close (Store.publish ~dir index);
+    Store.open_dir dir
+  | _ -> Store.open_dir dir
+
 let run_serve dir port once max_conns cache_capacity idle_timeout read_timeout
-    write_timeout stats_interval fault_spec =
+    write_timeout stats_interval fault_spec follow port_file =
   setup_logging ();
-  match Store.open_dir dir with
+  let follow = Option.map parse_hostport follow in
+  match open_or_bootstrap dir follow with
   | Error e ->
     Printf.eprintf "aqv_net: cannot recover store in %s: %s\n" dir
       (Store_error.to_string e);
     exit 1
   | Ok (store, index, recovery) ->
+    (* every server publishes its stream: a follower can itself have
+       followers (chained replication), because Engine.republish ships
+       whatever it durably applied, whatever the source *)
+    let hub = Hub.create ~initial:index () in
     let config =
       {
         (engine_config port once max_conns cache_capacity idle_timeout
            read_timeout write_timeout stats_interval fault_spec)
         with
         Engine.store = Some store;
+        accept_republish = Option.is_none follow;
+        publisher = Some (Hub.publisher hub);
       }
     in
     let engine = Engine.create config index in
     Stats.recovered (Engine.stats engine)
       ~torn_tail:(recovery.Store.torn_tail_bytes > 0)
       ~coalesced:recovery.Store.coalesced;
-    let stop _ = Engine.stop engine in
+    let follower =
+      Option.map
+        (fun (host, port) -> Follower.start ~host ~engine ~port ())
+        follow
+    in
+    let stop _ =
+      Hub.stop hub;
+      Engine.stop engine
+    in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -169,13 +232,39 @@ let run_serve dir port once max_conns cache_capacity idle_timeout read_timeout
      then
        Printf.printf "  rebuild cache: %d pair / %d fmh hit(s) during recovery\n"
          m.Aqv_util.Metrics.memo_pair_hits m.Aqv_util.Metrics.memo_fmh_hits);
-    Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)\n%!"
+    Printf.printf "serving %d records on 127.0.0.1:%d%s (max %d conns, cache %d)%s\n%!"
       (Table.size (Ifmh.table index))
       (Engine.port engine)
       (if once then " (single connection)" else "")
-      config.Engine.max_conns config.Engine.cache_capacity;
+      config.Engine.max_conns config.Engine.cache_capacity
+      (match follow with
+      | Some (host, port) ->
+        Printf.sprintf " following %s:%d" (Unix.string_of_inet_addr host) port
+      | None -> "");
+    Option.iter (fun pf -> write_file pf (string_of_int (Engine.port engine))) port_file;
     Engine.serve engine;
+    Option.iter Follower.stop follower;
+    Hub.stop hub;
     Store.close store
+
+(* ------------------------------- route ------------------------------ *)
+
+let run_route replicas port poll_interval port_file =
+  setup_logging ();
+  let replicas = List.map parse_hostport (String.split_on_char ',' replicas) in
+  let router = Router.create ~poll_interval ~port ~replicas () in
+  let stop _ = Router.stop router in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "routing 127.0.0.1:%d -> %d replica(s), epochs [%s]\n%!"
+    (Router.port router) (List.length replicas)
+    (String.concat "; " (List.map string_of_int (Router.epochs router)));
+  Option.iter (fun pf -> write_file pf (string_of_int (Router.port router))) port_file;
+  Router.serve router;
+  List.iter
+    (fun (name, n) -> Printf.printf "  %-24s %d forwarded\n" name n)
+    (Router.counts router)
 
 (* ------------------------------- query ------------------------------ *)
 
@@ -194,7 +283,8 @@ let run_query dir port qtype k l u y at =
   match or_transport_error (fun () -> Roundtrip.call ~port (Protocol.Run_query query)) with
   | Protocol.Refused m -> Format.printf "server refused: %s@." m
   | Protocol.Rank_answer _ | Protocol.Count_answer _ | Protocol.Stats _
-  | Protocol.Republished _ ->
+  | Protocol.Republished _ | Protocol.Hello _ | Protocol.Delta_frame _
+  | Protocol.Snapshot_frame _ ->
     Format.printf "protocol violation@."
   | Protocol.Answer resp ->
     Format.printf "result (%d records):@." (List.length resp.Server.result);
@@ -215,12 +305,62 @@ let run_stats port =
 
 (* --------------------------- fsck / compact ------------------------- *)
 
-let run_fsck dir =
+(* minimal JSON emission: flat objects of strings and ints, enough for
+   fsck --json and bench --json without a dependency *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type json_field = S of string | I of int | F of float | O of (string * json_field) list
+
+let rec json_value = function
+  | S s -> "\"" ^ json_escape s ^ "\""
+  | I n -> string_of_int n
+  | F x -> Printf.sprintf "%.6f" x
+  | O fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (json_value v)) fields)
+    ^ "}"
+
+let run_fsck dir json =
   setup_logging ();
   match Store.fsck dir with
   | Error e ->
-    Printf.printf "fsck %s: FAILED\n  %s\n" dir (Store_error.to_string e);
+    if json then
+      print_endline
+        (json_value (O [ ("dir", S dir); ("ok", I 0); ("error", S (Store_error.to_string e)) ]))
+    else Printf.printf "fsck %s: FAILED\n  %s\n" dir (Store_error.to_string e);
     exit 1
+  | Ok r when json ->
+    let m = Aqv_util.Metrics.snapshot () in
+    print_endline
+      (json_value
+         (O
+            [
+              ("dir", S dir);
+              ("ok", I 1);
+              ("scheme", S (Ifmh.scheme_name r.Store.r_scheme));
+              ("snapshot_epoch", I r.Store.r_snapshot_epoch);
+              ("snapshot_bytes", I r.Store.r_snapshot_bytes);
+              ("n_leaves", I r.Store.r_n_leaves);
+              ("log_frames", I r.Store.r_log_frames);
+              ("replayed", I r.Store.r_replayed);
+              ("skipped", I r.Store.r_skipped);
+              ("frames_coalesced", I r.Store.r_coalesced);
+              ("memo_pair_hits", I m.Aqv_util.Metrics.memo_pair_hits);
+              ("memo_fmh_hits", I m.Aqv_util.Metrics.memo_fmh_hits);
+              ("final_epoch", I r.Store.r_final_epoch);
+              ("torn_tail_bytes", I r.Store.r_torn_tail_bytes);
+            ]))
   | Ok r ->
     Printf.printf "fsck %s: OK\n" dir;
     Printf.printf "  scheme          %s\n" (Ifmh.scheme_name r.Store.r_scheme);
@@ -260,20 +400,60 @@ let run_compact dir =
    wall-clock throughput and the latency histogram are the measurement.
    With [--republish N] an owner thread drives N republishes through the
    same engine while the query load runs, measuring republish latency
-   (apply + hot swap) under concurrent reads. *)
-let run_bench records seed clients requests cache_capacity republish verify =
+   (apply + hot swap) under concurrent reads.
+
+   With [--replicas N] (N > 1) the same load instead runs against a
+   replication topology, all in-process: a primary engine with a hub,
+   N-1 follower engines tailing its delta stream, and an epoch-aware
+   router in front — clients connect to the router, republishes go to
+   the primary, and the read throughput should scale with N while every
+   reply still verifies. *)
+let run_bench records seed clients requests cache_capacity republish verify
+    replicas json_path =
   setup_logging ();
+  let replicas = max 1 replicas in
   let table = Workload.lines_1d ~n:records (Prng.create (Int64.of_int seed)) in
   let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
   let index = Ifmh.build ~epoch:1 ~scheme:Ifmh.Multi_signature table keypair in
   let bundle = Protocol.bundle_of_index index keypair.Signer.public in
   let ctx = Protocol.client_ctx bundle in
-  let config =
-    { Engine.default_config with port = 0; cache_capacity; max_conns = clients + 8 }
+  let engine_cfg accept_republish publisher =
+    {
+      Engine.default_config with
+      port = 0;
+      cache_capacity;
+      max_conns = clients + 8;
+      accept_republish;
+      publisher;
+    }
   in
-  let engine = Engine.create config index in
+  let hub = if replicas > 1 then Some (Hub.create ~initial:index ()) else None in
+  let engine = Engine.create (engine_cfg true (Option.map Hub.publisher hub)) index in
   let server = Thread.create Engine.serve engine in
-  let port = Engine.port engine in
+  let primary_port = Engine.port engine in
+  (* follower engines share the just-built index as their bootstrap
+     state (no store: this benchmark measures serving, not fsync) and
+     tail the primary like any out-of-process replica would *)
+  let follower_engines =
+    List.init (replicas - 1) (fun _ -> Engine.create (engine_cfg false None) index)
+  in
+  let follower_servers = List.map (fun e -> Thread.create Engine.serve e) follower_engines in
+  let followers =
+    List.map (fun e -> Follower.start ~engine:e ~port:primary_port ()) follower_engines
+  in
+  let router =
+    if replicas > 1 then
+      Some
+        (Router.create ~poll_interval:0.1
+           ~replicas:
+             (List.map
+                (fun p -> (Unix.inet_addr_loopback, p))
+                (primary_port :: List.map Engine.port follower_engines))
+           ())
+    else None
+  in
+  let router_server = Option.map (fun r -> Thread.create Router.serve r) router in
+  let port = match router with Some r -> Router.port r | None -> primary_port in
   let failures = ref 0 and failures_mu = Mutex.create () in
   let client_thread i =
     let prng = Prng.create (Int64.of_int ((seed * 1000) + i)) in
@@ -318,7 +498,7 @@ let run_bench records seed clients requests cache_capacity republish verify =
   let repub_failures = ref 0 in
   let repub_thread () =
     let prng = Prng.create (Int64.of_int ((seed * 1000) + 999)) in
-    Roundtrip.with_connection ~port (fun fd ->
+    Roundtrip.with_connection ~port:primary_port (fun fd ->
         let cur = ref index in
         for e = 2 to republish + 1 do
           let id = Prng.int prng records in
@@ -348,13 +528,22 @@ let run_bench records seed clients requests cache_capacity republish verify =
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
   Option.iter Thread.join republisher;
+  let replica_counts =
+    match router with Some r -> Router.counts r | None -> []
+  in
+  Option.iter Router.stop router;
+  Option.iter Thread.join router_server;
+  List.iter Follower.stop followers;
+  Option.iter Hub.stop hub;
+  List.iter Engine.stop follower_engines;
   Engine.stop engine;
   Thread.join server;
+  List.iter Thread.join follower_servers;
   let hist = Array.fold_left Histogram.merge (Histogram.create ()) hists in
   let total = clients * requests in
   let stats = Engine.stats engine in
-  Printf.printf "bench: %d records, %d clients x %d requests%s\n" records clients
-    requests
+  Printf.printf "bench: %d records, %d clients x %d requests, %d replica(s)%s\n"
+    records clients requests replicas
     (if verify then " (client-verified)" else "");
   Printf.printf "  wall        %.3f s\n" wall;
   Printf.printf "  throughput  %.0f req/s\n" (float_of_int total /. wall);
@@ -376,45 +565,75 @@ let run_bench records seed clients requests cache_capacity republish verify =
       (Stats.get stats "memo_pair_hits")
       (Stats.get stats "memo_fmh_hits")
   end;
+  if replica_counts <> [] then begin
+    Printf.printf "  deltas      %d shipped to %d follower(s)\n"
+      (Stats.get stats "deltas_shipped")
+      (replicas - 1);
+    List.iter
+      (fun (name, n) -> Printf.printf "  replica     %-20s %d request(s)\n" name n)
+      replica_counts
+  end;
   Printf.printf "  verify      %d failure(s)\n" (!failures + !repub_failures);
+  Option.iter
+    (fun path ->
+      write_file path
+        (json_value
+           (O
+              [
+                ("records", I records);
+                ("clients", I clients);
+                ("requests_per_client", I requests);
+                ("replicas", I replicas);
+                ("republished", I (Histogram.count repub_hist));
+                ("wall_s", F wall);
+                ("throughput_rps", F (float_of_int total /. wall));
+                ("latency_us_p50", I (Histogram.percentile hist 50));
+                ("latency_us_p90", I (Histogram.percentile hist 90));
+                ("latency_us_p99", I (Histogram.percentile hist 99));
+                ("latency_us_max", I (Histogram.max_value hist));
+                ("deltas_shipped", I (Stats.get stats "deltas_shipped"));
+                ("verify_failures", I (!failures + !repub_failures));
+                ("per_replica", O (List.map (fun (name, n) -> (name, I n)) replica_counts));
+              ])
+        ^ "\n"))
+    json_path;
   if !failures + !repub_failures > 0 then exit 1
 
 (* ------------------------------ selftest ---------------------------- *)
 
-(* Fork a child that recovers the store in [dir] and serves it on an
-   ephemeral port (written to [port_file] for the parent). The child
-   exits 0 after a graceful drain, 1 on any setup failure. *)
-let selftest_server dir port_file =
-  (* the child inherits stdio buffers; flush so its exit can't replay
-     the parent's pending output *)
+(* Child processes run the real CLI commands via exec, not fork: the
+   OCaml 5 runtime forbids Unix.fork once any domain has been spawned,
+   and this process builds indexes through the parallel pool — exec is
+   also the honest test, since each child recovers its store exactly
+   like a production `aqv_net serve`. Ports come back via --port-file. *)
+let spawn args =
   flush stdout;
   flush stderr;
-  match Unix.fork () with
-  | 0 ->
-    (try
-       match Store.open_dir dir with
-       | Error e ->
-         Printf.eprintf "selftest server: %s\n" (Store_error.to_string e);
-         exit 1
-       | Ok (store, index, recovery) ->
-         let config =
-           {
-             (engine_config 0 false 16 256 10. 5. 5. 0. None) with
-             Engine.store = Some store;
-           }
-         in
-         let engine = Engine.create config index in
-         Stats.recovered (Engine.stats engine)
-           ~torn_tail:(recovery.Store.torn_tail_bytes > 0)
-           ~coalesced:recovery.Store.coalesced;
-         Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Engine.stop engine));
-         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-         write_file port_file (string_of_int (Engine.port engine));
-         Engine.serve engine;
-         Store.close store
-     with _ -> exit 1);
-    exit 0
-  | pid -> pid
+  Unix.create_process Sys.executable_name
+    (Array.of_list (Filename.basename Sys.executable_name :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+let spawn_serve ?follow dir port_file =
+  (try Sys.remove port_file with Sys_error _ -> ());
+  spawn
+    ([ "serve"; "--dir"; dir; "--port"; "0"; "--port-file"; port_file ]
+    @ match follow with
+      | Some port -> [ "--follow"; "127.0.0.1:" ^ string_of_int port ]
+      | None -> [])
+
+let spawn_route replica_ports port_file =
+  (try Sys.remove port_file with Sys_error _ -> ());
+  spawn
+    [
+      "route";
+      "--replicas";
+      String.concat ","
+        (List.map (fun p -> "127.0.0.1:" ^ string_of_int p) replica_ports);
+      "--port";
+      "0";
+      "--port-file";
+      port_file;
+    ]
 
 (* no fixed sleep: poll for the child's port file, bounded *)
 let await_port port_file =
@@ -432,23 +651,39 @@ let await_port port_file =
   in
   poll ()
 
+(* Poll a server's Get_stats until [key] reaches [target] — how the
+   selftest awaits follower convergence without fixed sleeps. *)
+let await_gauge ?(deadline_s = 20.) port key target =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec poll () =
+    let v =
+      match Roundtrip.call ~port Protocol.Get_stats with
+      | Protocol.Stats kvs -> (
+        match List.assoc_opt key kvs with Some v -> v | None -> -1)
+      | _ | (exception _) -> -1
+    in
+    if v >= target then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
 let run_selftest () =
   setup_logging ();
-  (* The OCaml 5 runtime forbids Unix.fork in any process that has ever
-     spawned a domain, so the pre-fork publish step must not fan out:
-     pin the default pool to one domain before the first build. Only
-     this forking selftest needs the pin — `publish`/`serve` run in
-     their own processes and parallelize freely. *)
-  Unix.putenv "AQV_DOMAINS" "1";
-  let dir = Filename.temp_file "aqv" "net" in
-  Sys.remove dir;
+  let base = Filename.temp_file "aqv" "net" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  let dir = Filename.concat base "primary" in
   Unix.mkdir dir 0o755;
   let keypair, index = build_index 60 42 Ifmh.Multi_signature 1 in
   let _bundle_bytes = publish_to dir index keypair in
   Printf.printf "published: 60 records, multi-signature, epoch 1 -> %s\n" dir;
   flush stdout;
-  let port_file = Filename.concat dir "port" in
-  let pid = selftest_server dir port_file in
+  let port_file = Filename.concat base "port.primary" in
+  let pid = spawn_serve dir port_file in
   let port = await_port port_file in
   let bundle =
     Protocol.decode_bundle (Wire.reader (read_file (Filename.concat dir "bundle.bin")))
@@ -525,8 +760,7 @@ let run_selftest () =
   | _ -> expect_verified "stats: delta logged before ack" false);
   Unix.kill pid Sys.sigkill;
   ignore (Unix.waitpid [] pid);
-  (try Sys.remove port_file with Sys_error _ -> ());
-  let pid2 = selftest_server dir port_file in
+  let pid2 = spawn_serve dir port_file in
   let port2 = await_port port_file in
   let ask2 request = Roundtrip.call ~port:port2 request in
   let ctx2 = Client.with_min_epoch ctx 2 in
@@ -539,11 +773,118 @@ let run_selftest () =
     let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
     expect_verified "stats: recovery counted" (get "recoveries" = 1)
   | _ -> expect_verified "stats: recovery counted" false);
-  (* graceful shutdown: SIGTERM must drain and exit 0 *)
-  Unix.kill pid2 Sys.sigterm;
-  (match Unix.waitpid [] pid2 with
-  | _, Unix.WEXITED 0 -> Printf.printf "  %-32s ok\n" "graceful shutdown (SIGTERM)"
-  | _ -> expect_verified "graceful shutdown (SIGTERM)" false);
+  (* --- replication topology: primary + two followers + router --- *)
+  let fdir1 = Filename.concat base "f1" and fdir2 = Filename.concat base "f2" in
+  let pf1 = Filename.concat base "port.f1" and pf2 = Filename.concat base "port.f2" in
+  let pidf1 = spawn_serve ~follow:port2 fdir1 pf1 in
+  let pidf2 = spawn_serve ~follow:port2 fdir2 pf2 in
+  let portf1 = await_port pf1 and portf2 = await_port pf2 in
+  expect_verified "followers bootstrapped (epoch 2)"
+    (await_gauge portf1 "epoch" 2 && await_gauge portf2 "epoch" 2);
+  let pfr = Filename.concat base "port.router" in
+  let pidr = spawn_route [ port2; portf1; portf2 ] pfr in
+  let portr = await_port pfr in
+  (match Roundtrip.call ~port:portr (Protocol.Run_query q1) with
+  | Protocol.Answer resp ->
+    expect_verified "verified read via router" (Client.accepts ctx2 q1 resp)
+  | _ -> expect_verified "verified read via router" false);
+  (* republish epochs 3..5 to the primary while readers hammer the
+     router; every routed reply must verify at min-epoch 2 *)
+  let load_stop = Atomic.make false in
+  let load_failures = ref 0 and load_ok = ref 0 and load_mu = Mutex.create () in
+  let loaders =
+    List.init 2 (fun _ ->
+        Thread.create
+          (fun () ->
+            Roundtrip.with_connection ~port:portr (fun fd ->
+                while not (Atomic.get load_stop) do
+                  match Roundtrip.ask fd (Protocol.Run_query q1) with
+                  | Protocol.Answer resp ->
+                    Mutex.lock load_mu;
+                    if Client.accepts ctx2 q1 resp then incr load_ok
+                    else incr load_failures;
+                    Mutex.unlock load_mu
+                  | _ ->
+                    Mutex.lock load_mu;
+                    incr load_failures;
+                    Mutex.unlock load_mu
+                done))
+          ())
+  in
+  let cur = ref index2 in
+  let repub_ok = ref true in
+  for e = 3 to 5 do
+    let changes =
+      [ Update.Modify (Record.make ~id:(e mod 60) ~attrs:[| Q.of_int (e * 3); Q.of_int (e * 11) |] ()) ]
+    in
+    let next = Ifmh.apply keypair changes !cur in
+    (match ask2 (Protocol.Republish (Ifmh.delta ~changes next)) with
+    | Protocol.Republished e' when e' = e -> ()
+    | _ -> repub_ok := false);
+    cur := next
+  done;
+  Atomic.set load_stop true;
+  List.iter Thread.join loaders;
+  expect_verified "republish under router load" !repub_ok;
+  expect_verified "routed reads verified under load"
+    (!load_failures = 0 && !load_ok > 0);
+  expect_verified "followers converged (epoch 5)"
+    (await_gauge portf1 "epoch" 5 && await_gauge portf2 "epoch" 5);
+  let ctx5 = Client.with_min_epoch ctx 5 in
+  (* each follower serves the owner's epoch-5 index, verifiably *)
+  List.iter
+    (fun (label, p) ->
+      match Roundtrip.call ~port:p (Protocol.Run_query q1) with
+      | Protocol.Answer resp -> expect_verified label (Client.accepts ctx5 q1 resp)
+      | _ -> expect_verified label false)
+    [ ("follower 1 serves epoch 5", portf1); ("follower 2 serves epoch 5", portf2) ];
+  (* a replica must refuse wire republishes: only the stream mutates it *)
+  (match
+     Roundtrip.call ~port:portf1
+       (Protocol.Republish (Ifmh.delta ~changes:[] !cur))
+   with
+  | Protocol.Refused _ -> Printf.printf "  %-32s ok\n" "replica refuses wire republish"
+  | _ -> expect_verified "replica refuses wire republish" false);
+  (* kill -9 one follower mid-topology: the router fails over, the
+     primary keeps shipping, and a restart recovers + re-subscribes *)
+  Unix.kill pidf1 Sys.sigkill;
+  ignore (Unix.waitpid [] pidf1);
+  let changes6 =
+    [ Update.Modify (Record.make ~id:6 ~attrs:[| Q.of_int 66; Q.of_int 6 |] ()) ]
+  in
+  let index6 = Ifmh.apply keypair changes6 !cur in
+  (match ask2 (Protocol.Republish (Ifmh.delta ~changes:changes6 index6)) with
+  | Protocol.Republished 6 -> Printf.printf "  %-32s ok\n" "republish with a dead follower"
+  | _ -> expect_verified "republish with a dead follower" false);
+  let ctx6 = Client.with_min_epoch ctx 6 in
+  (match Roundtrip.call ~port:portr (Protocol.Run_query q1) with
+  | Protocol.Answer resp ->
+    expect_verified "router fails over dead follower" (Client.accepts ctx6 q1 resp)
+  | _ -> expect_verified "router fails over dead follower" false);
+  let pidf1' = spawn_serve ~follow:port2 fdir1 pf1 in
+  let portf1' = await_port pf1 in
+  expect_verified "killed follower recovers + catches up (epoch 6)"
+    (await_gauge portf1' "epoch" 6);
+  (match Roundtrip.call ~port:portf1' (Protocol.Run_query q1) with
+  | Protocol.Answer resp ->
+    expect_verified "restarted follower verifies" (Client.accepts ctx6 q1 resp)
+  | _ -> expect_verified "restarted follower verifies" false);
+  (match ask2 Protocol.Get_stats with
+  | Protocol.Stats kvs ->
+    let get k = match List.assoc_opt k kvs with Some v -> v | None -> 0 in
+    expect_verified "stats: deltas shipped" (get "deltas_shipped" >= 4)
+  | _ -> expect_verified "stats: deltas shipped" false);
+  (* graceful shutdown: SIGTERM must drain and exit 0, everywhere *)
+  let graceful label pid =
+    Unix.kill pid Sys.sigterm;
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> Printf.printf "  %-32s ok\n" label
+    | _ -> expect_verified label false
+  in
+  graceful "graceful shutdown: router" pidr;
+  graceful "graceful shutdown: follower 1" pidf1';
+  graceful "graceful shutdown: follower 2" pidf2;
+  graceful "graceful shutdown: primary" pid2;
   if !failures = 0 then print_endline "selftest: ALL OK"
   else begin
     Printf.printf "selftest: %d failure(s)\n" !failures;
@@ -626,16 +967,72 @@ let republish_t =
     & info [ "republish" ] ~docv:"N"
         ~doc:"Drive N owner republishes through the engine during the query load.")
 
+let follow_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "follow" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a read replica of the given primary: bootstrap from it if \
+           the store is empty, then tail its replication stream. Wire \
+           republishes are refused.")
+
+let port_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "port-file" ] ~docv:"FILE"
+        ~doc:"Write the actually bound port here once listening (for scripts).")
+
+let fsck_json_t =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable report on stdout.")
+
+let bench_replicas_t =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Serve the load from N replicas (a primary, N-1 followers tailing \
+           its delta stream, and an epoch-aware router in front).")
+
+let bench_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write machine-readable results here.")
+
+let replicas_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "replicas" ] ~docv:"HOST:PORT,..."
+        ~doc:"Comma-separated replica addresses to route over.")
+
+let poll_interval_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "poll-interval" ] ~docv:"S" ~doc:"Seconds between replica epoch polls.")
+
 let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Owner: build and write index.bin + bundle.bin.")
     Term.(const run_publish $ records_t $ seed_t $ scheme_t $ epoch_t $ dir_t)
 
 let serve_cmd =
-  Cmd.v (Cmd.info "serve" ~doc:"Storage server: serve index.bin concurrently.")
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Storage server: serve index.bin concurrently (primary, or --follow \
+          replica).")
     Term.(
       const run_serve $ dir_t $ port_t $ once_t $ max_conns_t $ cache_t
       $ idle_timeout_t $ read_timeout_t $ write_timeout_t $ stats_interval_t
-      $ fault_t)
+      $ fault_t $ follow_t $ port_file_t)
+
+let route_cmd =
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Epoch-aware front door: fan verified reads out over replicas.")
+    Term.(const run_route $ replicas_t $ port_t $ poll_interval_t $ port_file_t)
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Data user: send a query, verify the reply.")
@@ -649,7 +1046,7 @@ let fsck_cmd =
   Cmd.v
     (Cmd.info "fsck"
        ~doc:"Validate the durable store (snapshot + log) without modifying it.")
-    Term.(const run_fsck $ dir_t)
+    Term.(const run_fsck $ dir_t $ fsck_json_t)
 
 let compact_cmd =
   Cmd.v
@@ -664,10 +1061,15 @@ let bench_cmd =
     Term.(
       const run_bench $ records_t $ seed_t $ clients_t $ requests_t $ cache_t
       $ republish_t
-      $ Term.app (Term.const not) no_verify_t)
+      $ Term.app (Term.const not) no_verify_t
+      $ bench_replicas_t $ bench_json_t)
 
 let selftest_cmd =
-  Cmd.v (Cmd.info "selftest" ~doc:"Fork a server and verify replies end to end.")
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Spawn a primary, two followers, and a router; verify replies, \
+          crash recovery, and replication end to end.")
     Term.(const run_selftest $ const ())
 
 let () =
@@ -678,6 +1080,7 @@ let () =
           [
             publish_cmd;
             serve_cmd;
+            route_cmd;
             query_cmd;
             stats_cmd;
             fsck_cmd;

@@ -1,0 +1,185 @@
+module Wire = Aqv_util.Wire
+module Protocol = Aqv.Protocol
+module Ifmh = Aqv.Ifmh
+module Frame_io = Aqv_serve.Frame_io
+module Roundtrip = Aqv_serve.Roundtrip
+module Engine = Aqv_serve.Engine
+
+let src = Logs.Src.create "aqv.cluster.follower" ~doc:"replication follower"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  engine : Engine.t;
+  host : Unix.inet_addr;
+  port : int;
+  opts : Roundtrip.opts;
+  read_timeout : float;
+  reconnect_backoff : float;
+  mu : Mutex.t;
+  mutable fd : Unix.file_descr option; (* guarded by [mu] *)
+  mutable stopped : bool; (* guarded by [mu] *)
+  mutable primary_epoch : int; (* guarded by [mu]; last Hello seen *)
+  mutable reconnects : int; (* guarded by [mu] *)
+  mutable thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let stopped t = locked t (fun () -> t.stopped)
+let epoch t = Ifmh.epoch (Engine.index t.engine)
+let primary_epoch t = locked t (fun () -> t.primary_epoch)
+let reconnects t = locked t (fun () -> t.reconnects)
+
+let send_subscribe fd ~timeout ~from_epoch =
+  let w = Wire.writer () in
+  Protocol.encode_request w (Protocol.Subscribe { from_epoch });
+  ignore (Frame_io.write_frame ~timeout fd (Wire.contents w))
+
+(* Apply one replication frame to the follower's engine. [Error] means
+   the stream is unusable from here (a gap, a bad frame): drop the
+   connection and re-subscribe from our durable epoch — the hub decides
+   between a backlog suffix and a snapshot. Stale frames are skipped,
+   not errors: after a snapshot install the stream may replay deltas
+   the snapshot already covers. *)
+let apply_frame t reply =
+  let cur = epoch t in
+  match reply with
+  | Protocol.Hello { epoch } ->
+    locked t (fun () -> t.primary_epoch <- epoch);
+    Ok ()
+  | Protocol.Delta_frame { base_epoch; delta } ->
+    if Ifmh.delta_epoch delta <= cur then Ok () (* stale, already durable here *)
+    else if base_epoch <> cur then
+      Error
+        (Printf.sprintf "stream gap: delta applies to epoch %d, we are at %d"
+           base_epoch cur)
+    else (
+      match Engine.republish t.engine delta with
+      | Ok epoch' ->
+        Log.debug (fun m -> m "replayed delta: now at epoch %d" epoch');
+        Ok ()
+      | Error msg -> Error msg)
+  | Protocol.Snapshot_frame { index } -> (
+    match Ifmh.load (Wire.reader index) with
+    | exception (Failure msg | Invalid_argument msg) ->
+      Error ("bad snapshot: " ^ msg)
+    | index' ->
+      if Ifmh.epoch index' <= cur then Ok () (* stale snapshot *)
+      else (
+        match Engine.install_snapshot t.engine index' with
+        | Ok epoch' ->
+          Log.info (fun m -> m "snapshot installed: now at epoch %d" epoch');
+          Ok ()
+        | Error msg -> Error msg))
+  | Protocol.Refused msg -> Error ("primary refused subscription: " ^ msg)
+  | _ -> Error "protocol violation: unexpected reply on replication stream"
+
+(* One connection's lifetime: subscribe from our current durable epoch,
+   then tail frames until EOF, a read timeout (dead primary — the
+   heartbeat should have arrived), or an unusable frame. *)
+let tail_once t =
+  let fd = Roundtrip.connect ~opts:t.opts ~host:t.host t.port in
+  let abandoned = locked t (fun () ->
+      if t.stopped then true else begin t.fd <- Some fd; false end)
+  in
+  if abandoned then (try Unix.close fd with Unix.Unix_error _ -> ())
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        locked t (fun () -> t.fd <- None);
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        send_subscribe fd ~timeout:t.opts.Roundtrip.read_timeout
+          ~from_epoch:(Some (epoch t));
+        let rec loop () =
+          match
+            Frame_io.read_frame ~header_timeout:t.read_timeout
+              ~body_timeout:t.opts.Roundtrip.read_timeout fd
+          with
+          | None -> Log.info (fun m -> m "primary closed the stream")
+          | Some payload -> (
+            match Protocol.decode_reply (Wire.reader payload) with
+            | exception (Failure msg | Invalid_argument msg) ->
+              Log.warn (fun m -> m "bad replication frame: %s" msg)
+            | reply -> (
+              match apply_frame t reply with
+              | Ok () -> loop ()
+              | Error msg -> Log.warn (fun m -> m "dropping stream: %s" msg)))
+        in
+        loop ())
+
+let run t =
+  let rec loop first =
+    if not (stopped t) then begin
+      if not first then locked t (fun () -> t.reconnects <- t.reconnects + 1);
+      (try tail_once t with
+      | (Out_of_memory | Stack_overflow | Assert_failure _) as e -> raise e
+      | e ->
+        if not (stopped t) then
+          Log.info (fun m -> m "replication link down: %s" (Printexc.to_string e)));
+      if not (stopped t) then begin
+        Thread.delay t.reconnect_backoff;
+        loop false
+      end
+    end
+  in
+  loop true
+
+let start ?(opts = Roundtrip.default_opts) ?(read_timeout = 10.)
+    ?(reconnect_backoff = 0.1) ?(host = Unix.inet_addr_loopback) ~engine ~port () =
+  let t =
+    {
+      engine;
+      host;
+      port;
+      opts;
+      read_timeout;
+      reconnect_backoff;
+      mu = Mutex.create ();
+      fd = None;
+      stopped = false;
+      primary_epoch = 0;
+      reconnects = 0;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  let fd = locked t (fun () ->
+      t.stopped <- true;
+      let fd = t.fd in
+      t.fd <- None;
+      fd)
+  in
+  (* closing the live fd interrupts a blocked read immediately *)
+  Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fd;
+  Option.iter Thread.join t.thread;
+  t.thread <- None
+
+(* Bootstrap for a follower with no local state: one throwaway
+   subscription that asks for a full snapshot, loads it, disconnects.
+   The caller publishes it to a fresh store and starts a real engine
+   (and then a {!start}ed tail) from there. *)
+let bootstrap ?(opts = Roundtrip.default_opts) ?(host = Unix.inet_addr_loopback)
+    ~port () =
+  Roundtrip.with_connection ~opts ~host ~port (fun fd ->
+      send_subscribe fd ~timeout:opts.Roundtrip.read_timeout ~from_epoch:None;
+      let rec await () =
+        match
+          Frame_io.read_frame ~header_timeout:opts.Roundtrip.read_timeout
+            ~body_timeout:opts.Roundtrip.read_timeout fd
+        with
+        | None -> failwith "Follower: primary closed before sending a snapshot"
+        | Some payload -> (
+          match Protocol.decode_reply (Wire.reader payload) with
+          | Protocol.Snapshot_frame { index } -> Ifmh.load (Wire.reader index)
+          | Protocol.Hello _ -> await ()
+          | Protocol.Refused msg -> failwith ("Follower: primary refused: " ^ msg)
+          | _ -> failwith "Follower: unexpected reply during bootstrap")
+      in
+      await ())

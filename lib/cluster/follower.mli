@@ -1,0 +1,59 @@
+(** Replica-side replication: tail a primary's delta stream into a
+    local engine.
+
+    The follower owns one background thread that connects to the
+    primary, sends [Protocol.Subscribe { from_epoch = Some e }] for its
+    engine's current epoch, and replays what comes back through the
+    engine's own mutation path — {!Aqv_serve.Engine.republish} for
+    delta frames (WAL append + fsync before the swap, exactly like a
+    primary republish, so a follower is crash-recoverable the same
+    way), {!Aqv_serve.Engine.install_snapshot} for full-state frames.
+    Byte-identity at every epoch follows from the apply == rebuild
+    invariant: both ends replay the same deltas through the same code.
+
+    Any stream problem — EOF, read timeout (missed heartbeats), an
+    epoch gap, a frame that fails to apply — drops the connection and
+    re-subscribes from the follower's durable epoch after a short
+    backoff. Stale frames (epochs at or below the follower's) are
+    skipped, not errors. *)
+
+type t
+
+val start :
+  ?opts:Aqv_serve.Roundtrip.opts ->
+  ?read_timeout:float ->
+  ?reconnect_backoff:float ->
+  ?host:Unix.inet_addr ->
+  engine:Aqv_serve.Engine.t ->
+  port:int ->
+  unit ->
+  t
+(** Spawn the tailing thread against primary [host]:[port] (default
+    127.0.0.1). [read_timeout] (default 10 s) bounds the wait for the
+    next frame and must exceed the primary's heartbeat interval;
+    [reconnect_backoff] (default 0.1 s) is the delay before redialing.
+    The engine should have [accept_republish = false] so only this
+    stream mutates it. *)
+
+val stop : t -> unit
+(** Close the live connection, stop the thread, join it. *)
+
+val epoch : t -> int
+(** The follower engine's current epoch. *)
+
+val primary_epoch : t -> int
+(** Last epoch announced by the primary (0 before the first Hello) —
+    [primary_epoch t - epoch t] is the replication lag in epochs. *)
+
+val reconnects : t -> int
+(** Times the tailing thread redialed after losing the stream. *)
+
+val bootstrap :
+  ?opts:Aqv_serve.Roundtrip.opts ->
+  ?host:Unix.inet_addr ->
+  port:int ->
+  unit ->
+  Aqv.Ifmh.t
+(** One-shot full-state fetch for a follower with no local store:
+    subscribe with [from_epoch = None], return the snapshot the primary
+    sends, disconnect. @raise Failure on refusal or a dead primary. *)

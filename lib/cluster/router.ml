@@ -1,0 +1,257 @@
+module Wire = Aqv_util.Wire
+module Protocol = Aqv.Protocol
+module Frame_io = Aqv_serve.Frame_io
+module Roundtrip = Aqv_serve.Roundtrip
+
+let src = Logs.Src.create "aqv.cluster.router" ~doc:"epoch-aware read router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type replica = {
+  host : Unix.inet_addr;
+  port : int;
+  mutable known_epoch : int; (* -1 = down/unknown; guarded by [mu] *)
+  mutable served : int; (* replies forwarded from here; guarded by [mu] *)
+}
+
+type t = {
+  replicas : replica array;
+  opts : Roundtrip.opts;
+  poll_interval : float;
+  idle_timeout : float;
+  listen_sock : Unix.file_descr;
+  bound_port : int;
+  stopped : bool Atomic.t;
+  mu : Mutex.t;
+  mutable rr : int; (* round-robin cursor; guarded by [mu] *)
+  mutable active : int; (* guarded by [mu] *)
+  mutable poller : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* One stats roundtrip per replica: its advertised epoch, or -1 when
+   unreachable or not answering with stats. A single attempt per poll —
+   the poller retries forever anyway. *)
+let poll_now t =
+  Array.iter
+    (fun r ->
+      let epoch =
+        match
+          Roundtrip.call
+            ~opts:{ t.opts with Roundtrip.attempts = 1 }
+            ~host:r.host ~port:r.port Protocol.Get_stats
+        with
+        | Protocol.Stats kvs -> (
+          match List.assoc_opt "epoch" kvs with Some e -> e | None -> -1)
+        | _ | (exception _) -> -1
+      in
+      locked t (fun () -> r.known_epoch <- epoch))
+    t.replicas
+
+let poller_loop t =
+  let rec sleep remaining =
+    if remaining > 0. && not (Atomic.get t.stopped) then begin
+      Thread.delay (Float.min 0.05 remaining);
+      sleep (remaining -. 0.05)
+    end
+  in
+  while not (Atomic.get t.stopped) do
+    sleep t.poll_interval;
+    if not (Atomic.get t.stopped) then poll_now t
+  done
+
+let create ?(opts = Roundtrip.default_opts) ?(poll_interval = 0.5)
+    ?(idle_timeout = 10.) ?(port = 0) ~replicas () =
+  if replicas = [] then invalid_arg "Router.create: no replicas";
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  let bound_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t =
+    {
+      replicas =
+        Array.of_list
+          (List.map
+             (fun (host, port) -> { host; port; known_epoch = -1; served = 0 })
+             replicas);
+      opts;
+      poll_interval;
+      idle_timeout;
+      listen_sock = sock;
+      bound_port;
+      stopped = Atomic.make false;
+      mu = Mutex.create ();
+      rr = 0;
+      active = 0;
+      poller = None;
+    }
+  in
+  (* synchronous first poll so routing is epoch-aware from request one *)
+  poll_now t;
+  t.poller <- Some (Thread.create poller_loop t);
+  t
+
+let port t = t.bound_port
+
+let counts t =
+  locked t (fun () ->
+      Array.to_list
+        (Array.map
+           (fun r ->
+             (Printf.sprintf "%s:%d" (Unix.string_of_inet_addr r.host) r.port, r.served))
+           t.replicas))
+
+let epochs t =
+  locked t (fun () -> Array.to_list (Array.map (fun r -> r.known_epoch) t.replicas))
+
+(* The candidate order for one request: replicas at the best known
+   epoch (never one behind it), rotated round-robin; with nothing known
+   (-1 everywhere, e.g. all replicas mid-restart) every replica is a
+   candidate, so the router degrades to plain failover. *)
+let candidates t =
+  locked t (fun () ->
+      let n = Array.length t.replicas in
+      let best =
+        Array.fold_left (fun acc r -> max acc r.known_epoch) (-1) t.replicas
+      in
+      let start = t.rr in
+      t.rr <- (t.rr + 1) mod n;
+      let order = List.init n (fun i -> (start + i) mod n) in
+      List.filter (fun i -> best < 0 || t.replicas.(i).known_epoch = best) order)
+
+let refused_tag = Char.chr 4
+
+let mark_down t i =
+  locked t (fun () -> t.replicas.(i).known_epoch <- -1)
+
+let mark_served t i = locked t (fun () -> t.replicas.(i).served <- t.replicas.(i).served + 1)
+
+(* Forward one raw request frame. The payload is never decoded: the
+   router adds no trust — bytes go to the replica and the replica's
+   reply bytes come back, signatures untouched, so the client's
+   verification spans the router unchanged. [conns] caches one
+   connection per replica for this client session. *)
+let forward t conns payload =
+  let try_replica i =
+    let r = t.replicas.(i) in
+    let fd =
+      match conns.(i) with
+      | Some fd -> fd
+      | None ->
+        let fd =
+          Roundtrip.connect
+            ~opts:{ t.opts with Roundtrip.attempts = 1 }
+            ~host:r.host r.port
+        in
+        conns.(i) <- Some fd;
+        fd
+    in
+    ignore (Frame_io.write_frame ~timeout:t.opts.Roundtrip.read_timeout fd payload);
+    match
+      Frame_io.read_frame ~header_timeout:t.opts.Roundtrip.read_timeout
+        ~body_timeout:t.opts.Roundtrip.read_timeout fd
+    with
+    | Some reply -> reply
+    | None -> failwith "Router: replica closed the connection"
+  in
+  let drop_conn i =
+    Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) conns.(i);
+    conns.(i) <- None
+  in
+  let rec go last_refused = function
+    | [] -> (
+      match last_refused with
+      | Some reply -> reply
+      | None ->
+        let w = Wire.writer () in
+        Protocol.encode_reply w (Protocol.Refused "Router: no replica available");
+        Wire.contents w)
+    | i :: rest -> (
+      match try_replica i with
+      | reply when String.length reply > 0 && reply.[0] = refused_tag ->
+        (* a served refusal (stale epoch, replica-local limit): try the
+           next candidate, but keep this reply as the most informative
+           answer if everyone refuses *)
+        go (Some reply) rest
+      | reply ->
+        mark_served t i;
+        reply
+      | exception e when Roundtrip.transient e ->
+        drop_conn i;
+        mark_down t i;
+        Log.info (fun m ->
+            m "replica %d down: %s" t.replicas.(i).port (Printexc.to_string e));
+        go last_refused rest)
+  in
+  go None (candidates t)
+
+let session t fd =
+  let conns = Array.make (Array.length t.replicas) None in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri
+        (fun i c ->
+          Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) c;
+          conns.(i) <- None)
+        conns)
+    (fun () ->
+      let rec loop () =
+        match
+          Frame_io.read_frame ~header_timeout:t.idle_timeout
+            ~body_timeout:t.opts.Roundtrip.read_timeout fd
+        with
+        | None -> ()
+        | Some payload ->
+          let reply = forward t conns payload in
+          ignore (Frame_io.write_frame ~timeout:t.opts.Roundtrip.read_timeout fd reply);
+          loop ()
+      in
+      loop ())
+
+let session_thread t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () -> t.active <- t.active - 1))
+    (fun () ->
+      try session t fd with
+      | (Out_of_memory | Stack_overflow | Assert_failure _) as e -> raise e
+      | Frame_io.Timeout | Unix.Unix_error _ | Failure _ -> ())
+
+(* Same select-then-accept shutdown idiom as the engine: signal
+   handlers only flip [stopped]. *)
+let serve t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stopped) then begin
+      let readable =
+        match Unix.select [ t.listen_sock ] [] [] 0.2 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      (if readable then
+         match Unix.accept t.listen_sock with
+         | conn, _ ->
+           locked t (fun () -> t.active <- t.active + 1);
+           ignore (Thread.create (fun () -> session_thread t conn) ())
+         | exception
+             Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+           ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  let deadline = Unix.gettimeofday () +. 5. in
+  while locked t (fun () -> t.active) > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  Option.iter Thread.join t.poller;
+  t.poller <- None;
+  try Unix.close t.listen_sock with Unix.Unix_error _ -> ()
+
+let stop t = Atomic.set t.stopped true

@@ -42,6 +42,7 @@ type request =
   | Run_count of { x : Q.t array; l : Q.t; u : Q.t }
   | Get_stats
   | Republish of Ifmh.delta
+  | Subscribe of { from_epoch : int option }
 
 type reply =
   | Answer of Server.response
@@ -50,6 +51,9 @@ type reply =
   | Refused of string
   | Stats of (string * int) list
   | Republished of int
+  | Hello of { epoch : int }
+  | Delta_frame of { base_epoch : int; delta : Ifmh.delta }
+  | Snapshot_frame of { index : string }
 
 let encode_x w x =
   W.varint w (Array.length x);
@@ -76,6 +80,13 @@ let encode_request w = function
   | Republish delta ->
     W.u8 w 4;
     Ifmh.encode_delta w delta
+  | Subscribe { from_epoch } -> (
+    W.u8 w 5;
+    match from_epoch with
+    | None -> W.u8 w 0
+    | Some e ->
+      W.u8 w 1;
+      W.varint w e)
 
 let decode_request r =
   match W.read_u8 r with
@@ -91,6 +102,14 @@ let decode_request r =
     Run_count { x; l; u }
   | 3 -> Get_stats
   | 4 -> Republish (Ifmh.decode_delta r)
+  | 5 ->
+    let from_epoch =
+      match W.read_u8 r with
+      | 0 -> None
+      | 1 -> Some (W.read_varint r)
+      | _ -> failwith "Protocol: bad Subscribe flag"
+    in
+    Subscribe { from_epoch }
   | _ -> failwith "Protocol: bad request tag"
 
 let encode_reply w = function
@@ -117,6 +136,16 @@ let encode_reply w = function
   | Republished epoch ->
     W.u8 w 6;
     W.varint w epoch
+  | Hello { epoch } ->
+    W.u8 w 7;
+    W.varint w epoch
+  | Delta_frame { base_epoch; delta } ->
+    W.u8 w 8;
+    W.varint w base_epoch;
+    Ifmh.encode_delta w delta
+  | Snapshot_frame { index } ->
+    W.u8 w 9;
+    W.bytes w index
 
 let decode_reply r =
   match W.read_u8 r with
@@ -132,6 +161,12 @@ let decode_reply r =
            let v = W.read_int r in
            (k, v)))
   | 6 -> Republished (W.read_varint r)
+  | 7 -> Hello { epoch = W.read_varint r }
+  | 8 ->
+    let base_epoch = W.read_varint r in
+    let delta = Ifmh.decode_delta r in
+    Delta_frame { base_epoch; delta }
+  | 9 -> Snapshot_frame { index = W.read_bytes r }
   | _ -> failwith "Protocol: bad reply tag"
 
 let handle ?stats ?republish index request =
@@ -148,6 +183,10 @@ let handle ?stats ?republish index request =
       match republish with
       | Some f -> Republished (f delta)
       | None -> Refused "Protocol: republish not available")
+    | Subscribe _ ->
+      (* replication needs a connection-level handoff; only the serving
+         engine's session loop can honour it *)
+      Refused "Protocol: replication not available"
   with
   | reply -> reply
   | exception Invalid_argument msg -> Refused msg

@@ -38,6 +38,14 @@ type request =
           (the serving runtime installs it atomically via
           [Aqv_serve.Engine.swap_index]). Carries the owner's new
           signatures, never a key. *)
+  | Subscribe of { from_epoch : int option }
+      (** Follower → primary: turn this connection into a replication
+          stream. [Some e] asks for every delta after epoch [e] (the
+          follower's recovered epoch); [None] means the follower has no
+          local state and needs a full {!Snapshot_frame} bootstrap.
+          After the primary's [Hello], the connection is one-way: the
+          primary pushes {!Delta_frame}/{!Hello} frames, the follower
+          only reads. *)
 
 type reply =
   | Answer of Server.response
@@ -48,6 +56,22 @@ type reply =
       (** Flat counter snapshot; keys are stable strings such as
           ["req_query"] or ["latency_us_le_256"]. *)
   | Republished of int  (** the epoch now being served *)
+  | Hello of { epoch : int }
+      (** Subscription accepted / heartbeat: the primary's current
+          epoch. Sent first on every accepted [Subscribe], then
+          periodically so a follower can detect a dead primary (read
+          timeout) and observe its own lag without a query. *)
+  | Delta_frame of { base_epoch : int; delta : Ifmh.delta }
+      (** One durably-acked republish, shipped in WAL order strictly
+          after the primary's fsync (durable-before-ship). [base_epoch]
+          is the epoch the delta applies to, exactly as recorded in the
+          primary's log — a follower at a different epoch must not
+          replay it. *)
+  | Snapshot_frame of { index : string }
+      (** Full-state bootstrap: the primary's current index as
+          {!Ifmh.save} bytes (signatures included, never a key). Sent
+          when the follower's [from_epoch] predates the primary's
+          retained delta backlog. *)
 
 val encode_request : Aqv_util.Wire.writer -> request -> unit
 val decode_request : Aqv_util.Wire.reader -> request
@@ -66,7 +90,9 @@ val handle :
     given (the serving runtime passes its counters), else [Refused];
     likewise [Republish] by the [republish] callback, which returns the
     epoch now being served (raising [Failure]/[Invalid_argument] turns
-    into [Refused]). *)
+    into [Refused]). [Subscribe] is always [Refused] here: replication
+    takes over the whole connection, which only the engine's session
+    loop can do. *)
 
 (** {1 Framing} *)
 

@@ -6,6 +6,12 @@ let src = Logs.Src.create "aqv.serve" ~doc:"IFMH serving engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type publisher = {
+  subscribe : Unix.file_descr -> from_epoch:int option -> unit;
+  ship : base:Ifmh.t -> index:Ifmh.t -> Ifmh.delta -> unit;
+  lag : unit -> int;
+}
+
 type config = {
   port : int;
   max_conns : int;
@@ -19,6 +25,8 @@ type config = {
   once : bool;
   faults : Faults.t option;
   store : Aqv_store.Store.t option;
+  accept_republish : bool;
+  publisher : publisher option;
 }
 
 let default_config =
@@ -35,6 +43,8 @@ let default_config =
     once = false;
     faults = None;
     store = None;
+    accept_republish = true;
+    publisher = None;
   }
 
 type t = {
@@ -61,19 +71,23 @@ let create config index =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
-  {
-    config;
-    index = Atomic.make index;
-    listen_sock = sock;
-    bound_port;
-    stats = Stats.create ();
-    cache = Cache.create ~capacity:config.cache_capacity;
-    stopped = Atomic.make false;
-    mu = Mutex.create ();
-    republish_mu = Mutex.create ();
-    active = 0;
-    compactor = None;
-  }
+  let t =
+    {
+      config;
+      index = Atomic.make index;
+      listen_sock = sock;
+      bound_port;
+      stats = Stats.create ();
+      cache = Cache.create ~capacity:config.cache_capacity;
+      stopped = Atomic.make false;
+      mu = Mutex.create ();
+      republish_mu = Mutex.create ();
+      active = 0;
+      compactor = None;
+    }
+  in
+  Stats.set_epoch t.stats (Ifmh.epoch index);
+  t
 
 let port t = t.bound_port
 let stats t = t.stats
@@ -91,7 +105,10 @@ let swap_index t index' =
   let installed = Ifmh.epoch index' > Ifmh.epoch (Atomic.get t.index) in
   if installed then Atomic.set t.index index';
   Mutex.unlock t.mu;
-  if installed then Stats.index_swapped t.stats;
+  if installed then begin
+    Stats.index_swapped t.stats;
+    Stats.set_epoch t.stats (Ifmh.epoch index')
+  end;
   installed
 
 (* Raised internally when fault injection kills the reply: the session
@@ -151,6 +168,81 @@ let schedule_compaction t =
                ());
       Mutex.unlock t.mu
 
+(* The single mutation path shared by the wire ([Protocol.Republish])
+   and a follower replaying its replication stream. The whole path
+   serializes under [republish_mu] so the durability order is
+   unambiguous: replay the delta, append+fsync it to the store's log,
+   swap, ship to subscribers, and only then ack — a crash at any point
+   before the ack leaves a log the recovery path replays to at most the
+   acked epoch (durable-before-ack), and a delta reaches a follower
+   strictly after its fsync here (durable-before-ship). A store append
+   failure refuses the republish without touching serving state. *)
+let republish t delta =
+  Mutex.lock t.republish_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.republish_mu)
+    (fun () ->
+      let base = Atomic.get t.index in
+      (* memo ticks happen only inside rebuilds, which all serialize
+         under [republish_mu], so the delta around this apply is
+         attributable to it alone *)
+      let m0 = Aqv_util.Metrics.snapshot () in
+      match Ifmh.apply_delta delta base with
+      | exception (Failure msg | Invalid_argument msg) -> Error msg
+      | index' -> (
+        let dm = Aqv_util.Metrics.diff (Aqv_util.Metrics.snapshot ()) m0 in
+        Stats.add_memo_hits t.stats ~pairs:dm.Aqv_util.Metrics.memo_pair_hits
+          ~fmh:dm.Aqv_util.Metrics.memo_fmh_hits;
+        if Ifmh.epoch index' <= Ifmh.epoch base then
+          Error "Engine: republish does not advance the epoch"
+        else
+          match
+            Option.iter (fun s -> Aqv_store.Store.append s ~base delta) t.config.store
+          with
+          | exception Aqv_store.Error.Error e ->
+            Error ("Store: " ^ Aqv_store.Error.to_string e)
+          | () ->
+            Option.iter (fun _ -> Stats.log_appended t.stats) t.config.store;
+            ignore (swap_index t index');
+            Option.iter
+              (fun p ->
+                p.ship ~base ~index:index' delta;
+                Stats.delta_shipped t.stats;
+                Stats.set_follower_lag t.stats (p.lag ()))
+              t.config.publisher;
+            Log.info (fun m ->
+                m "republished: now serving epoch %d" (Ifmh.epoch index'));
+            schedule_compaction t;
+            Ok (Ifmh.epoch index')))
+
+(* Full-state install, the follower's answer to [Snapshot_frame]: make
+   the new index durable (snapshot rewrite + log reset — an interrupted
+   compaction is benign, recovery skips stale frames) BEFORE serving
+   it, mirroring the append-then-swap order of [republish]. *)
+let install_snapshot t index' =
+  Mutex.lock t.republish_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.republish_mu)
+    (fun () ->
+      if Ifmh.epoch index' <= Ifmh.epoch (Atomic.get t.index) then
+        Error "Engine: snapshot does not advance the epoch"
+      else
+        match
+          Option.iter (fun s -> Aqv_store.Store.compact s index') t.config.store
+        with
+        | exception Aqv_store.Error.Error e ->
+          Error ("Store: " ^ Aqv_store.Error.to_string e)
+        | () ->
+          Option.iter (fun _ -> Stats.compacted t.stats) t.config.store;
+          ignore (swap_index t index');
+          Log.info (fun m ->
+              m "snapshot installed: now serving epoch %d" (Ifmh.epoch index'));
+          Ok (Ifmh.epoch index'))
+
+(* What a session should do with one decoded request: answer it, or
+   hand the connection over to the replication publisher. *)
+type action = Reply of string | Handoff of { from_epoch : int option }
+
 (* Compute (or fetch from cache) the encoded reply for one raw request
    payload. Get_stats bypasses the cache — its reply changes with every
    request. Malformed payloads become Refused, uniformly for Failure
@@ -160,65 +252,41 @@ let reply_bytes_for t payload =
   | exception (Failure msg | Invalid_argument msg) ->
     Stats.on_request t.stats `Malformed;
     Stats.on_refused t.stats;
-    encode_reply_bytes (Protocol.Refused msg)
+    Reply (encode_reply_bytes (Protocol.Refused msg))
   | Protocol.Get_stats ->
     Stats.on_request t.stats `Stats;
-    encode_reply_bytes (Protocol.Stats (Stats.to_assoc t.stats))
-  | Protocol.Republish delta ->
-    (* uncached, like Get_stats: a republish mutates serving state.
-       The whole accept path serializes under [republish_mu] so the
-       durability order is unambiguous: replay the delta, append+fsync
-       it to the store's log, and only then swap and ack — a crash at
-       any point before the ack leaves a log the recovery path replays
-       to at most the acked epoch (durable-before-ack). A store append
-       failure refuses the republish without touching serving state. *)
-    Stats.on_request t.stats `Republish;
-    let refuse msg =
+    Reply (encode_reply_bytes (Protocol.Stats (Stats.to_assoc t.stats)))
+  | Protocol.Subscribe { from_epoch } -> (
+    Stats.on_request t.stats `Subscribe;
+    match t.config.publisher with
+    | Some _ -> Handoff { from_epoch }
+    | None ->
       Stats.on_refused t.stats;
-      Protocol.Refused msg
-    in
+      Reply (encode_reply_bytes (Protocol.Refused "Engine: replication not enabled")))
+  | Protocol.Republish delta ->
+    (* uncached, like Get_stats: a republish mutates serving state *)
+    Stats.on_request t.stats `Republish;
     let reply =
-      Mutex.lock t.republish_mu;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.republish_mu)
-        (fun () ->
-          let base = Atomic.get t.index in
-          (* memo ticks happen only inside rebuilds, which all serialize
-             under [republish_mu], so the delta around this apply is
-             attributable to it alone *)
-          let m0 = Aqv_util.Metrics.snapshot () in
-          match Ifmh.apply_delta delta base with
-          | exception (Failure msg | Invalid_argument msg) -> refuse msg
-          | index' -> (
-            let dm = Aqv_util.Metrics.diff (Aqv_util.Metrics.snapshot ()) m0 in
-            Stats.add_memo_hits t.stats ~pairs:dm.Aqv_util.Metrics.memo_pair_hits
-              ~fmh:dm.Aqv_util.Metrics.memo_fmh_hits;
-            if Ifmh.epoch index' <= Ifmh.epoch base then
-              refuse "Engine: republish does not advance the epoch"
-            else
-              match
-                Option.iter
-                  (fun s -> Aqv_store.Store.append s ~base delta)
-                  t.config.store
-              with
-              | exception Aqv_store.Error.Error e ->
-                refuse ("Store: " ^ Aqv_store.Error.to_string e)
-              | () ->
-                Option.iter (fun _ -> Stats.log_appended t.stats) t.config.store;
-                ignore (swap_index t index');
-                Log.info (fun m ->
-                    m "republished: now serving epoch %d" (Ifmh.epoch index'));
-                schedule_compaction t;
-                Protocol.Republished (Ifmh.epoch index')))
+      if not t.config.accept_republish then begin
+        Stats.on_refused t.stats;
+        Protocol.Refused "Engine: read replica, republish to the primary"
+      end
+      else
+        match republish t delta with
+        | Ok epoch -> Protocol.Republished epoch
+        | Error msg ->
+          Stats.on_refused t.stats;
+          Protocol.Refused msg
     in
-    encode_reply_bytes reply
+    Reply (encode_reply_bytes reply)
   | request ->
     Stats.on_request t.stats
       (match request with
       | Protocol.Run_query _ -> `Query
       | Protocol.Run_rank _ -> `Rank
       | Protocol.Run_count _ -> `Count
-      | Protocol.Get_stats | Protocol.Republish _ -> assert false);
+      | Protocol.Get_stats | Protocol.Republish _ | Protocol.Subscribe _ ->
+        assert false);
     (* one snapshot per request: the reply and its cache key always
        describe the same epoch, even if a swap lands mid-request *)
     let index = Atomic.get t.index in
@@ -226,7 +294,7 @@ let reply_bytes_for t payload =
     (match Cache.find t.cache key with
     | Some bytes ->
       Stats.cache_hit t.stats;
-      bytes
+      Reply bytes
     | None ->
       Stats.cache_miss t.stats;
       let reply = Protocol.handle index request in
@@ -235,7 +303,7 @@ let reply_bytes_for t payload =
       | _ -> ());
       let bytes = encode_reply_bytes reply in
       Cache.add t.cache key bytes;
-      bytes)
+      Reply bytes)
 
 let send_reply t fd bytes =
   let deliver () =
@@ -267,13 +335,24 @@ let session t fd =
         ~body_timeout:t.config.read_timeout fd
     with
     | None -> () (* clean close *)
-    | Some payload ->
+    | Some payload -> (
       Stats.add_bytes_in t.stats (String.length payload + 4);
       let t0 = now_us () in
-      let bytes = reply_bytes_for t payload in
+      let action = reply_bytes_for t payload in
       Stats.observe_latency_us t.stats (now_us () - t0);
-      send_reply t fd bytes;
-      loop ()
+      match action with
+      | Reply bytes ->
+        send_reply t fd bytes;
+        loop ()
+      | Handoff { from_epoch } ->
+        (* the connection becomes a one-way replication stream; the
+           publisher's feeder runs right here, in this session thread,
+           so the fd stays owned (and finally closed) by the session *)
+        let publisher = Option.get t.config.publisher in
+        Stats.follower_connected t.stats;
+        Fun.protect
+          ~finally:(fun () -> Stats.follower_disconnected t.stats)
+          (fun () -> publisher.subscribe fd ~from_epoch))
   in
   loop ()
 

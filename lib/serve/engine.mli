@@ -29,7 +29,26 @@
       appended and fsync'd to the write-ahead log {e before} the
       [Republished] ack goes out (durable-before-ack) — an append
       failure yields [Refused] and leaves serving state untouched —
-      and the store compacts under its policy as the log grows. *)
+      and the store compacts under its policy as the log grows;
+    - optional replication: with a [publisher], every durably-acked
+      delta is handed to it strictly after the WAL fsync
+      (durable-before-ship), and [Protocol.Subscribe] sessions are
+      handed over to it wholesale ({!publisher}). *)
+
+type publisher = {
+  subscribe : Unix.file_descr -> from_epoch:int option -> unit;
+      (** Runs in the session thread that accepted the [Subscribe]: own
+          the connection until the subscriber is dropped, then return.
+          The session still closes the fd — never close it here. *)
+  ship : base:Aqv.Ifmh.t -> index:Aqv.Ifmh.t -> Aqv.Ifmh.delta -> unit;
+      (** Called under [republish_mu] right after the swap, once the
+          delta is fsync'd: fan it out to subscriber queues. Must not
+          block (enqueue only). *)
+  lag : unit -> int;  (** total frames enqueued but not yet written *)
+}
+(** The engine side of a replication hub ([Aqv_cluster.Hub]); kept
+    abstract here so [aqv_serve] does not depend on the cluster
+    library. *)
 
 type config = {
   port : int;  (** 0 picks an ephemeral port; see {!port} *)
@@ -46,11 +65,18 @@ type config = {
   store : Aqv_store.Store.t option;
       (** durable store: republishes are logged before the ack. The
           engine borrows the handle; the caller closes it. *)
+  accept_republish : bool;
+      (** when [false] (a read replica), wire [Protocol.Republish] is
+          [Refused] — mutation arrives only through the replication
+          stream via {!republish} *)
+  publisher : publisher option;
+      (** replication hub; [None] refuses [Protocol.Subscribe] *)
 }
 
 val default_config : config
 (** Port 7464, 64 connections, 10 s idle, 5 s read, 5 s write, 1024
-    cache entries, no periodic log, 5 s drain, no faults, no store. *)
+    cache entries, no periodic log, 5 s drain, no faults, no store,
+    republish accepted, no publisher. *)
 
 type t
 
@@ -75,6 +101,20 @@ val swap_index : t -> Aqv.Ifmh.t -> bool
     monotonic. In-flight requests keep the snapshot they started with.
     The response cache is left alone: keys embed the epoch, so stale
     entries can never be served at the new epoch. *)
+
+val republish : t -> Aqv.Ifmh.delta -> (int, string) result
+(** The single mutation path, shared by wire [Protocol.Republish] and a
+    follower replaying its replication stream: under the republish
+    lock, [apply_delta] → WAL append+fsync → {!swap_index} → ship to
+    the publisher. [Ok epoch'] only once all of that happened
+    (durable-before-ack and durable-before-ship); any failure is
+    [Error] with serving state untouched. *)
+
+val install_snapshot : t -> Aqv.Ifmh.t -> (int, string) result
+(** Full-state install (a follower bootstrapping from
+    [Protocol.Snapshot_frame]): the new index must strictly advance the
+    epoch and is made durable — [Aqv_store.Store.compact]: snapshot
+    rewrite + log reset — {e before} it is served. *)
 
 val serve : t -> unit
 (** Accept loop; blocks until {!stop}, then drains and closes the

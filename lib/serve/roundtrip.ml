@@ -15,9 +15,9 @@ exception Connect_timeout
 
 (* Nonblocking connect + select so a dead peer cannot hold us for the
    kernel's multi-minute SYN timeout. *)
-let connect_once ~timeout port =
+let connect_once ?(host = Unix.inet_addr_loopback) ~timeout port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let addr = Unix.ADDR_INET (host, port) in
   try
     Unix.set_nonblock fd;
     (try Unix.connect fd addr
@@ -61,8 +61,9 @@ let retrying opts label f =
   in
   go 0 opts.backoff
 
-let connect ?(opts = default_opts) port =
-  retrying opts "connect" (fun () -> connect_once ~timeout:opts.connect_timeout port)
+let connect ?(opts = default_opts) ?host port =
+  retrying opts "connect" (fun () ->
+      connect_once ?host ~timeout:opts.connect_timeout port)
 
 let ask ?(opts = default_opts) fd request =
   let w = Wire.writer () in
@@ -75,15 +76,15 @@ let ask ?(opts = default_opts) fd request =
   | Some payload -> Protocol.decode_reply (Wire.reader payload)
   | None -> failwith "Roundtrip: server closed the connection"
 
-let with_connection ?(opts = default_opts) ~port f =
-  let fd = connect ~opts port in
+let with_connection ?(opts = default_opts) ?host ~port f =
+  let fd = connect ~opts ?host port in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> f fd)
 
-let call ?(opts = default_opts) ~port request =
+let call ?(opts = default_opts) ?host ~port request =
   retrying opts "call" (fun () ->
-      let fd = connect_once ~timeout:opts.connect_timeout port in
+      let fd = connect_once ?host ~timeout:opts.connect_timeout port in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> ask ~opts fd request))

@@ -18,19 +18,27 @@ val default_opts : opts
 (** 1 s connect, 5 s read, 8 attempts, 50 ms initial backoff (so a
     server still binding its socket is found well within a second). *)
 
-val connect : ?opts:opts -> int -> Unix.file_descr
-(** [connect port] dials 127.0.0.1:[port], retrying until the server
-    accepts (replaces the old sleep-and-hope startup dance).
-    @raise Failure when every attempt failed. *)
+val transient : exn -> bool
+(** The retry classifier: true for transport-level failures worth
+    another attempt (refused/reset/timeout/early EOF), false for
+    everything else. *)
+
+val connect : ?opts:opts -> ?host:Unix.inet_addr -> int -> Unix.file_descr
+(** [connect port] dials [host]:[port] ([host] defaults to 127.0.0.1),
+    retrying until the server accepts (replaces the old sleep-and-hope
+    startup dance). @raise Failure when every attempt failed. *)
 
 val ask : ?opts:opts -> Unix.file_descr -> Aqv.Protocol.request -> Aqv.Protocol.reply
 (** One request/reply on an open connection — no retries (a persistent
     session cannot resend safely without reframing); raises on
     transport errors. *)
 
-val call : ?opts:opts -> port:int -> Aqv.Protocol.request -> Aqv.Protocol.reply
+val call :
+  ?opts:opts -> ?host:Unix.inet_addr -> port:int -> Aqv.Protocol.request ->
+  Aqv.Protocol.reply
 (** Connect, ask, close — retrying the whole roundtrip on transport
     failure. @raise Failure when every attempt failed. *)
 
-val with_connection : ?opts:opts -> port:int -> (Unix.file_descr -> 'a) -> 'a
+val with_connection :
+  ?opts:opts -> ?host:Unix.inet_addr -> port:int -> (Unix.file_descr -> 'a) -> 'a
 (** Persistent-connection scope; always closes the socket. *)

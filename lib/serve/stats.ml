@@ -1,6 +1,7 @@
 module Histogram = Aqv_util.Histogram
 
-type request_kind = [ `Query | `Rank | `Count | `Stats | `Republish | `Malformed ]
+type request_kind =
+  [ `Query | `Rank | `Count | `Stats | `Republish | `Subscribe | `Malformed ]
 type fault_kind = [ `Delay | `Truncate | `Drop ]
 
 type t = {
@@ -10,6 +11,7 @@ type t = {
   mutable req_count : int;
   mutable req_stats : int;
   mutable req_republish : int;
+  mutable req_subscribe : int;
   mutable req_malformed : int;
   mutable refused : int;
   mutable bytes_in : int;
@@ -27,6 +29,10 @@ type t = {
   mutable compactions : int;
   mutable memo_pair_hits : int;
   mutable memo_fmh_hits : int;
+  mutable epoch : int;
+  mutable followers_connected : int;
+  mutable deltas_shipped : int;
+  mutable follower_lag_frames : int;
   mutable faults_delay : int;
   mutable faults_truncate : int;
   mutable faults_drop : int;
@@ -41,6 +47,7 @@ let create () =
     req_count = 0;
     req_stats = 0;
     req_republish = 0;
+    req_subscribe = 0;
     req_malformed = 0;
     refused = 0;
     bytes_in = 0;
@@ -58,6 +65,10 @@ let create () =
     compactions = 0;
     memo_pair_hits = 0;
     memo_fmh_hits = 0;
+    epoch = 0;
+    followers_connected = 0;
+    deltas_shipped = 0;
+    follower_lag_frames = 0;
     faults_delay = 0;
     faults_truncate = 0;
     faults_drop = 0;
@@ -76,6 +87,7 @@ let on_request t kind =
       | `Count -> t.req_count <- t.req_count + 1
       | `Stats -> t.req_stats <- t.req_stats + 1
       | `Republish -> t.req_republish <- t.req_republish + 1
+      | `Subscribe -> t.req_subscribe <- t.req_subscribe + 1
       | `Malformed -> t.req_malformed <- t.req_malformed + 1)
 
 let on_refused t = locked t (fun () -> t.refused <- t.refused + 1)
@@ -103,6 +115,17 @@ let add_memo_hits t ~pairs ~fmh =
       t.memo_pair_hits <- t.memo_pair_hits + pairs;
       t.memo_fmh_hits <- t.memo_fmh_hits + fmh)
 
+let set_epoch t e = locked t (fun () -> t.epoch <- e)
+
+let follower_connected t =
+  locked t (fun () -> t.followers_connected <- t.followers_connected + 1)
+
+let follower_disconnected t =
+  locked t (fun () -> t.followers_connected <- t.followers_connected - 1)
+
+let delta_shipped t = locked t (fun () -> t.deltas_shipped <- t.deltas_shipped + 1)
+let set_follower_lag t n = locked t (fun () -> t.follower_lag_frames <- n)
+
 let on_fault t kind =
   locked t (fun () ->
       match kind with
@@ -119,6 +142,7 @@ let to_assoc t =
           ("req_count", t.req_count);
           ("req_stats", t.req_stats);
           ("req_republish", t.req_republish);
+          ("req_subscribe", t.req_subscribe);
           ("req_malformed", t.req_malformed);
           ("replies_refused", t.refused);
           ("bytes_in", t.bytes_in);
@@ -136,6 +160,10 @@ let to_assoc t =
           ("compactions", t.compactions);
           ("memo_pair_hits", t.memo_pair_hits);
           ("memo_fmh_hits", t.memo_fmh_hits);
+          ("epoch", t.epoch);
+          ("followers_connected", t.followers_connected);
+          ("deltas_shipped", t.deltas_shipped);
+          ("follower_lag_frames", t.follower_lag_frames);
           ("faults_delay", t.faults_delay);
           ("faults_truncate", t.faults_truncate);
           ("faults_drop", t.faults_drop);

@@ -8,7 +8,8 @@
 
 type t
 
-type request_kind = [ `Query | `Rank | `Count | `Stats | `Republish | `Malformed ]
+type request_kind =
+  [ `Query | `Rank | `Count | `Stats | `Republish | `Subscribe | `Malformed ]
 type fault_kind = [ `Delay | `Truncate | `Drop ]
 
 val create : unit -> t
@@ -47,6 +48,24 @@ val add_memo_hits : t -> pairs:int -> fmh:int -> unit
 
 val compacted : t -> unit
 (** The store rewrote its snapshot and reset the log. *)
+
+val set_epoch : t -> int -> unit
+(** Gauge: the epoch of the index currently being served. Exported in
+    {!to_assoc} as ["epoch"], so routers and operators can read a
+    replica's position from [Get_stats] without a query round-trip. *)
+
+val follower_connected : t -> unit
+val follower_disconnected : t -> unit
+(** Gauge pair: a replication subscriber registered / went away
+    (exported as ["followers_connected"]). *)
+
+val delta_shipped : t -> unit
+(** A durably-acked delta was fanned out to the subscriber queues. *)
+
+val set_follower_lag : t -> int -> unit
+(** Gauge: total frames sitting in subscriber queues, i.e. shipped but
+    not yet written to a follower's socket (["follower_lag_frames"]).
+    Refreshed on every ship and heartbeat. *)
 
 val on_fault : t -> fault_kind -> unit
 

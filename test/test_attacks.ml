@@ -547,6 +547,89 @@ let test_store_epoch_gap () =
       store_write wal (store_read wal ^ frame);
       expect_recovery_rejects "Epoch_gap" dir)
 
+(* ---------------------------- replication --------------------------- *)
+
+(* Replication adds no trust: a read replica serves whatever signed
+   epoch it durably replayed, so the two attack surfaces are freshness
+   (a lagging or frozen replica serving an old epoch) and the delta
+   stream itself (a relabelled or tampered frame between primary and
+   replica). The first dies at the client's minimum epoch, the second
+   at replay or at verification — never silently. *)
+
+let test_replication_stale_replica () =
+  let t = Lazy.force table in
+  let kp = Lazy.force keypair in
+  let base = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 t kp in
+  let changes =
+    [ Update.Modify (Record.make ~id:1 ~attrs:[| Q.of_int 7; Q.of_int 11 |] ()) ]
+  in
+  let updated = Ifmh.apply kp changes base in
+  let x = Workload.weight_point t (Prng.create 93L) in
+  let l, u = Workload.range_for_result_size t ~x ~size:4 in
+  let query = Query.range ~x ~l ~u in
+  let ctx2 = Client.with_min_epoch (ctx ()) (Ifmh.epoch updated) in
+  (* an up-to-date replica's answer verifies *)
+  (match Client.verify ctx2 query (Server.answer updated query) with
+  | Ok () -> ()
+  | Error r ->
+    Alcotest.failf "honest replica rejected: %s" (Client.rejection_to_string r));
+  (* a replica still serving the previous epoch is correctly signed --
+     and exactly what the client's minimum epoch must refuse *)
+  expect_reject_as' ctx2 "lagging replica" Client.Stale_epoch query
+    (Server.answer base query)
+
+let test_replication_tampered_delta () =
+  let t = Lazy.force table in
+  let kp = Lazy.force keypair in
+  let base = Ifmh.build ~scheme:Ifmh.Multi_signature ~epoch:1 t kp in
+  let changes =
+    [ Update.Modify (Record.make ~id:2 ~attrs:[| Q.of_int 5; Q.of_int 21 |] ()) ]
+  in
+  let updated = Ifmh.apply kp changes base in
+  let d = Ifmh.delta ~changes updated in
+  (* replaying a captured old frame over a newer replica regresses the
+     epoch and must die at replay *)
+  let updated2 =
+    Ifmh.apply kp
+      [ Update.Modify (Record.make ~id:3 ~attrs:[| Q.of_int 4; Q.of_int 17 |] ()) ]
+      updated
+  in
+  (match Ifmh.apply_delta d updated2 with
+  | exception Failure msg ->
+    check Alcotest.string "replayed old frame" "Ifmh.apply_delta: epoch regression"
+      msg
+  | _ -> Alcotest.fail "epoch-regressing delta was replayed");
+  (* padding the change list leaves the signature count wrong *)
+  let padded =
+    Ifmh.delta_with_changes
+      (Update.Insert (Record.make ~id:999 ~attrs:[| Q.of_int 6; Q.of_int 2 |] ())
+      :: changes)
+      d
+  in
+  (match Ifmh.apply_delta padded base with
+  | exception Failure msg ->
+    check Alcotest.string "padded change list"
+      "Ifmh.apply_delta: signature count mismatch" msg
+  | _ -> Alcotest.fail "padded delta was replayed");
+  (* same-shape content tampering (the legit epoch and signatures over
+     a doctored change): if the replica replays it at all, no verifying
+     client accepts what it serves *)
+  let swapped =
+    Ifmh.delta_with_changes
+      [ Update.Modify (Record.make ~id:2 ~attrs:[| Q.of_int 5; Q.of_int 22 |] ()) ]
+      d
+  in
+  let x = Workload.weight_point t (Prng.create 94L) in
+  let l, u = Workload.range_for_result_size t ~x ~size:4 in
+  let query = Query.range ~x ~l ~u in
+  let ctx2 = Client.with_min_epoch (ctx ()) (Ifmh.epoch updated) in
+  match Ifmh.apply_delta swapped base with
+  | exception Failure _ -> ()
+  | forged -> (
+    match Client.verify ctx2 query (Server.answer forged query) with
+    | Ok () -> Alcotest.fail "tampered delta produced an accepted answer"
+    | Error _ -> ())
+
 let () =
   Alcotest.run "aqv_attacks"
     [
@@ -595,5 +678,11 @@ let () =
           Alcotest.test_case "spliced foreign frame" `Quick
             test_store_spliced_frame;
           Alcotest.test_case "epoch-gap frame" `Quick test_store_epoch_gap;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "stale replica" `Quick test_replication_stale_replica;
+          Alcotest.test_case "tampered delta" `Quick
+            test_replication_tampered_delta;
         ] );
     ]
