@@ -243,17 +243,66 @@ let fig5c () =
 
 (* ------------------------------ Fig 6 ------------------------------- *)
 
-let server_cost_figure ~title ~make_query () =
+(* Cold columns serve through [Ifmh.without_fragment_cache], i.e. the
+   pre-cache read path — so the numbers do not depend on which figures
+   ran earlier in the same process. Warm columns run the identical
+   (same-seed) query set twice against a fresh per-row fragment cache
+   and report the second pass, plus that cache's hit/miss counters.
+   Locate columns average the point-location sign tests at the same
+   query points: binary search vs the linear-scan reference. *)
+let server_cost_figure ~id ~title ~make_query () =
   header title;
-  row "%8s %12s %14s %14s\n" "n" "mesh" "one-sig" "multi-sig";
+  row "%8s %6s %10s %10s %10s %9s %10s %8s %9s %10s\n" "n" "S" "mesh" "one-sig"
+    "multi-sig" "one-warm" "multi-warm" "loc-bin" "loc-scan" "frag-h/m";
   List.iter
     (fun n ->
       let n = scaled n in
       let c = ctx_of n in
-      let mesh = avg_server_cost (Mesh.answer c.mesh) (make_query c.table) in
-      let one = avg_server_cost (Server.answer c.one) (make_query c.table) in
-      let multi = avg_server_cost (Server.answer c.multi) (make_query c.table) in
-      row "%8d %12.1f %14.1f %14.1f\n%!" n mesh one multi)
+      let s = Mesh.subdomain_count c.mesh in
+      let mk = make_query c.table in
+      let mesh = avg_server_cost (Mesh.answer c.mesh) mk in
+      let one = avg_server_cost (Server.answer (Ifmh.without_fragment_cache c.one)) mk in
+      let multi =
+        avg_server_cost (Server.answer (Ifmh.without_fragment_cache c.multi)) mk
+      in
+      let warm index =
+        let idx = Ifmh.drop_fragment_cache index in
+        ignore (avg_server_cost (Server.answer idx) mk);
+        let cost = avg_server_cost (Server.answer idx) mk in
+        (cost, Fragment.counters (Ifmh.fragments idx))
+      in
+      let one_warm, _ = warm c.one in
+      let multi_warm, (fh, fm) = warm c.multi in
+      let locate_cost locate =
+        let rng = query_rng () in
+        let total = ref 0 in
+        for _ = 1 to queries_per_point do
+          let q = mk rng in
+          Metrics.reset ();
+          ignore (locate c.mesh (Query.x q).(0));
+          total := !total + (Metrics.snapshot ()).Metrics.locate_sign_tests
+        done;
+        float_of_int !total /. float_of_int queries_per_point
+      in
+      let loc_bin = locate_cost Mesh.locate_cell in
+      let loc_scan = locate_cost Mesh.locate_cell_scan in
+      row "%8d %6d %10.1f %10.1f %10.1f %9.1f %10.1f %8.1f %9.1f %6d/%-5d\n%!" n s
+        mesh one multi one_warm multi_warm loc_bin loc_scan fh fm;
+      json_add
+        [
+          ("figure", J_str id);
+          ("n", J_int n);
+          ("subdomains", J_int s);
+          ("mesh_cost", J_num mesh);
+          ("one_sig_cost", J_num one);
+          ("multi_sig_cost", J_num multi);
+          ("one_sig_warm_cost", J_num one_warm);
+          ("multi_sig_warm_cost", J_num multi_warm);
+          ("locate_sign_tests_binary", J_num loc_bin);
+          ("locate_sign_tests_scan", J_num loc_scan);
+          ("frag_hits", J_int fh);
+          ("frag_misses", J_int fm);
+        ])
     [ 100; 200; 300; 400; 500 ]
 
 let topk_query k table rng = Query.top_k ~x:(Workload.weight_point table rng) ~k
@@ -270,15 +319,17 @@ let range_query size table rng =
   Query.range ~x ~l ~u
 
 let fig6a =
-  server_cost_figure ~title:"Fig 6a — server cost, top-3 queries (nodes/cells visited)"
+  server_cost_figure ~id:"fig6a"
+    ~title:"Fig 6a — server cost, top-3 queries (nodes/cells visited)"
     ~make_query:(topk_query 3)
 
 let fig6b =
-  server_cost_figure ~title:"Fig 6b — server cost, 3NN queries (nodes/cells visited)"
+  server_cost_figure ~id:"fig6b"
+    ~title:"Fig 6b — server cost, 3NN queries (nodes/cells visited)"
     ~make_query:(knn_query 3)
 
 let fig6c =
-  server_cost_figure
+  server_cost_figure ~id:"fig6c"
     ~title:"Fig 6c — server cost, range queries with |R|=3 (nodes/cells visited)"
     ~make_query:(range_query 3)
 
@@ -288,14 +339,16 @@ let fig6d () =
   row "(n = %d)\n" n;
   row "%8s %12s %14s %14s\n" "|q|" "mesh" "one-sig" "multi-sig";
   let c = ctx_of n in
+  let one = Ifmh.without_fragment_cache c.one in
+  let multi = Ifmh.without_fragment_cache c.multi in
   List.iter
     (fun frac ->
       let size = max 1 (n * frac / 100) in
       let mk = range_query size in
-      let mesh = avg_server_cost (Mesh.answer c.mesh) (mk c.table) in
-      let one = avg_server_cost (Server.answer c.one) (mk c.table) in
-      let multi = avg_server_cost (Server.answer c.multi) (mk c.table) in
-      row "%8d %12.1f %14.1f %14.1f\n%!" size mesh one multi)
+      let mesh_c = avg_server_cost (Mesh.answer c.mesh) (mk c.table) in
+      let one_c = avg_server_cost (Server.answer one) (mk c.table) in
+      let multi_c = avg_server_cost (Server.answer multi) (mk c.table) in
+      row "%8d %12.1f %14.1f %14.1f\n%!" size mesh_c one_c multi_c)
     [ 10; 20; 40; 60; 80; 100 ]
 
 (* ------------------------------ Fig 7 ------------------------------- *)
@@ -549,6 +602,7 @@ let abl_storage () =
     (index, t_build, after_heap - before_heap)
   in
   let per_query index =
+    let index = Ifmh.without_fragment_cache index in
     let rng = query_rng () in
     Metrics.reset ();
     let before = Metrics.snapshot () in
@@ -608,6 +662,7 @@ let ext_2d () =
       in
       let multi = Ifmh.build ~scheme:Ifmh.Multi_signature table dry_signer in
       let cost index =
+        let index = Ifmh.without_fragment_cache index in
         let rng = query_rng () in
         let total = ref 0 in
         for _ = 1 to 20 do
@@ -850,6 +905,117 @@ let abl_recovery () =
       rm_rf dir)
     [ 0; 1; 2; 4; 8; 16 ]
 
+(* Serving fast paths, with CI-guarded deterministic counters: point
+   location must grow sub-linearly in the subdomain count S (binary
+   search sign tests vs the linear-scan reference), and the VO fragment
+   cache must keep a nonzero hit rate across a republish (window and
+   constraint fragments not touching the modified record survive the
+   content-keyed purge). Sign tests and fragment counters are
+   deterministic, so the guards are immune to runner noise. *)
+let abl_serve_frag () =
+  header "Ablation — serving fast paths: O(log S) location + fragment cache";
+  let probes = 64 in
+  row "(location: %d evenly spaced probes; sign tests are deterministic)\n" probes;
+  row "%8s %8s | %10s %10s %8s | %10s\n" "n" "S" "mesh-bin" "mesh-scan" "ratio"
+    "itree";
+  let location n =
+    let c = ctx_of n in
+    let bounds = Mesh.cell_bounds c.mesh in
+    let lo = fst bounds.(0) and hi = snd bounds.(Array.length bounds - 1) in
+    let point k =
+      Q.add lo (Q.mul (Q.sub hi lo) (Q.of_ints ((2 * k) + 1) (2 * probes)))
+    in
+    let cost f =
+      Metrics.reset ();
+      for k = 0 to probes - 1 do
+        ignore (f (point k))
+      done;
+      (Metrics.snapshot ()).Metrics.locate_sign_tests
+    in
+    let s = Mesh.subdomain_count c.mesh in
+    let bin = cost (Mesh.locate_cell c.mesh) in
+    let scan = cost (Mesh.locate_cell_scan c.mesh) in
+    let itree = Ifmh.itree c.one in
+    let it = cost (fun x -> ignore (Itree.locate itree [| x |]); 0) in
+    row "%8d %8d | %10d %10d %8.2f | %10d\n%!" n s bin scan
+      (float_of_int scan /. float_of_int bin)
+      it;
+    json_add
+      [
+        ("figure", J_str "abl-serve-frag");
+        ("series", J_str "location");
+        ("n", J_int n);
+        ("subdomains", J_int s);
+        ("mesh_binary_sign_tests", J_int bin);
+        ("mesh_scan_sign_tests", J_int scan);
+        ("itree_sign_tests", J_int it);
+      ];
+    (s, bin, it)
+  in
+  (* fixed sizes (not AQV_BENCH_SCALE'd): the guard compares S ~16 vs
+     S ~256 and must be reproducible *)
+  let s_small, bin_small, it_small = location 12 in
+  let s_big, bin_big, it_big = location 36 in
+  if s_big < 8 * s_small then
+    failwith
+      (Printf.sprintf "abl-serve-frag: S grew only %dx (%d -> %d), guard needs >= 8x"
+         (s_big / max 1 s_small) s_small s_big);
+  let ratio name small big =
+    let r = float_of_int big /. float_of_int small in
+    row "%s sign tests: S %dx -> cost %.2fx\n%!" name (s_big / s_small) r;
+    if r >= 3.0 then
+      failwith
+        (Printf.sprintf "abl-serve-frag: %s location cost grew %.2fx over %dx subdomains"
+           name r (s_big / s_small))
+  in
+  ratio "mesh" bin_small bin_big;
+  ratio "itree" it_small it_big;
+  (* fragment cache across a republish: warm a fresh cache with a query
+     set, modify one record through Ifmh.apply (which purges only the
+     dirtied fragments), re-serve the same queries *)
+  let n = scaled 200 in
+  let table = table_of n in
+  row "(republish: n = %d, %d warm queries, 1-record Modify)\n" n
+    queries_per_point;
+  row "%-12s %10s %10s %10s\n" "scheme" "hits" "misses" "hit-rate";
+  List.iter
+    (fun (name, scheme) ->
+      let index = Ifmh.build ~scheme table dry_signer in
+      let rng = query_rng () in
+      let queries =
+        Array.init queries_per_point (fun _ -> topk_query 3 table rng)
+      in
+      Array.iter (fun q -> ignore (Server.answer index q)) queries;
+      let changes =
+        [
+          Update.Modify
+            (Aqv_db.Record.make ~id:0 ~attrs:[| Q.of_int 3; Q.of_int 1 |] ());
+        ]
+      in
+      let updated = Ifmh.apply dry_signer changes index in
+      let h0, m0 = Fragment.counters (Ifmh.fragments updated) in
+      Array.iter (fun q -> ignore (Server.answer updated q)) queries;
+      let h1, m1 = Fragment.counters (Ifmh.fragments updated) in
+      let hits = h1 - h0 and misses = m1 - m0 in
+      let rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+      row "%-12s %10d %10d %10.2f\n%!" name hits misses rate;
+      json_add
+        [
+          ("figure", J_str "abl-serve-frag");
+          ("series", J_str "republish");
+          ("scheme", J_str name);
+          ("n", J_int n);
+          ("queries", J_int queries_per_point);
+          ("frag_hits_post_republish", J_int hits);
+          ("frag_misses_post_republish", J_int misses);
+          ("post_republish_hit_rate", J_num rate);
+        ];
+      if hits = 0 then
+        failwith
+          (Printf.sprintf
+             "abl-serve-frag: %s post-republish fragment hit rate is zero" name))
+    [ ("one-sig", Ifmh.One_signature); ("multi-sig", Ifmh.Multi_signature) ]
+
 (* ------------------------- bechamel micros -------------------------- *)
 
 let micro_tests () =
@@ -887,7 +1053,15 @@ let micro_tests () =
     Test.make ~name:"rsa512-verify" (Staged.stage (fun () -> kp.Signer.verify d sig_rsa));
     Test.make ~name:"dsa-verify" (Staged.stage (fun () -> kpd.Signer.verify d sig_dsa));
     Test.make ~name:"itree-locate" (Staged.stage (fun () -> Itree.locate (Ifmh.itree c.one) x));
-    Test.make ~name:"ifmh-answer-top3" (Staged.stage (fun () -> Server.answer c.one q3));
+    Test.make ~name:"ifmh-answer-top3"
+      (Staged.stage
+         (let cold = Ifmh.without_fragment_cache c.one in
+          fun () -> Server.answer cold q3));
+    Test.make ~name:"ifmh-answer-top3-warm"
+      (Staged.stage
+         (let warm = Ifmh.drop_fragment_cache c.one in
+          ignore (Server.answer warm q3);
+          fun () -> Server.answer warm q3));
     Test.make ~name:"mesh-answer-top3" (Staged.stage (fun () -> Mesh.answer c.mesh q3));
     Test.make ~name:"client-verify-top3"
       (Staged.stage (fun () -> Client.verify small_ctx small_q small_resp));
@@ -942,6 +1116,7 @@ let figures =
     ("abl-count", abl_count);
     ("abl-update", abl_update);
     ("abl-recovery", abl_recovery);
+    ("abl-serve-frag", abl_serve_frag);
     ("ext-2d", ext_2d);
   ]
 
@@ -958,15 +1133,20 @@ let () =
       find args
     in
     let only = find_arg "--only" in
+    (* --only accepts a comma-separated list: --only fig6a,abl-serve-frag *)
+    let wanted id =
+      match only with
+      | None -> true
+      | Some o -> List.mem id (String.split_on_char ',' o)
+    in
     let json_path = find_arg "--json" in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun (id, run) ->
-        match only with
-        | Some o when o <> id -> ()
-        | _ ->
+        if wanted id then begin
           let (), wall = time run in
-          json_add [ ("figure", J_str id); ("wall_s", J_num wall) ])
+          json_add [ ("figure", J_str id); ("wall_s", J_num wall) ]
+        end)
       figures;
     if only = None && not (List.mem "--no-micro" args) then run_micros ();
     let total_s = Unix.gettimeofday () -. t0 in

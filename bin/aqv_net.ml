@@ -358,6 +358,8 @@ let run_fsck dir json =
               ("frames_coalesced", I r.Store.r_coalesced);
               ("memo_pair_hits", I m.Aqv_util.Metrics.memo_pair_hits);
               ("memo_fmh_hits", I m.Aqv_util.Metrics.memo_fmh_hits);
+              ("frag_hits", I m.Aqv_util.Metrics.frag_hits);
+              ("frag_misses", I m.Aqv_util.Metrics.frag_misses);
               ("final_epoch", I r.Store.r_final_epoch);
               ("torn_tail_bytes", I r.Store.r_torn_tail_bytes);
             ]))
@@ -372,7 +374,9 @@ let run_fsck dir json =
       r.Store.r_coalesced;
     (let m = Aqv_util.Metrics.snapshot () in
      Printf.printf "  rebuild cache   %d pair / %d fmh hit(s)\n"
-       m.Aqv_util.Metrics.memo_pair_hits m.Aqv_util.Metrics.memo_fmh_hits);
+       m.Aqv_util.Metrics.memo_pair_hits m.Aqv_util.Metrics.memo_fmh_hits;
+     Printf.printf "  fragment cache  %d hit(s) / %d miss(es) (replay serves no VOs)\n"
+       m.Aqv_util.Metrics.frag_hits m.Aqv_util.Metrics.frag_misses);
     Printf.printf "  final epoch     %d\n" r.Store.r_final_epoch;
     if r.Store.r_torn_tail_bytes > 0 then
       Printf.printf "  torn tail       %d byte(s), truncated on next serve\n"
@@ -528,6 +532,13 @@ let run_bench records seed clients requests cache_capacity republish verify
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
   Option.iter Thread.join republisher;
+  (* post-republish probe pass: replay client 0's deterministic query
+     stream once more after the last swap. The epoch changed, so every
+     probe misses the verbatim response cache and falls back to
+     fragment assembly — fragments warmed before the swap hit for every
+     window the modified records did not touch, which is what the
+     post-republish gauges measure. Runs outside the timed window. *)
+  if republish > 0 then ignore (client_thread 0);
   let replica_counts =
     match router with Some r -> Router.counts r | None -> []
   in
@@ -552,6 +563,14 @@ let run_bench records seed clients requests cache_capacity republish verify
     (Histogram.percentile hist 99) (Histogram.max_value hist);
   Printf.printf "  cache       %d hits / %d misses\n" (Stats.get stats "cache_hits")
     (Stats.get stats "cache_misses");
+  Engine.refresh_frag_stats engine;
+  let frag_rate hits misses =
+    float_of_int hits /. float_of_int (max 1 (hits + misses))
+  in
+  Printf.printf "  fragments   %d hits / %d misses (hit rate %.2f)\n"
+    (Stats.get stats "frag_hits")
+    (Stats.get stats "frag_misses")
+    (frag_rate (Stats.get stats "frag_hits") (Stats.get stats "frag_misses"));
   Printf.printf "  bytes       %d in / %d out\n" (Stats.get stats "bytes_in")
     (Stats.get stats "bytes_out");
   if republish > 0 then begin
@@ -563,7 +582,13 @@ let run_bench records seed clients requests cache_capacity republish verify
       (Histogram.max_value repub_hist);
     Printf.printf "  rebuild     cache %d pair / %d fmh hit(s)\n"
       (Stats.get stats "memo_pair_hits")
-      (Stats.get stats "memo_fmh_hits")
+      (Stats.get stats "memo_fmh_hits");
+    Printf.printf "  fragments   %d hits / %d misses post-republish (hit rate %.2f)\n"
+      (Stats.get stats "frag_hits_post_republish")
+      (Stats.get stats "frag_misses_post_republish")
+      (frag_rate
+         (Stats.get stats "frag_hits_post_republish")
+         (Stats.get stats "frag_misses_post_republish"))
   end;
   if replica_counts <> [] then begin
     Printf.printf "  deltas      %d shipped to %d follower(s)\n"
@@ -592,6 +617,15 @@ let run_bench records seed clients requests cache_capacity republish verify
                 ("latency_us_p99", I (Histogram.percentile hist 99));
                 ("latency_us_max", I (Histogram.max_value hist));
                 ("deltas_shipped", I (Stats.get stats "deltas_shipped"));
+                ("frag_hits", I (Stats.get stats "frag_hits"));
+                ("frag_misses", I (Stats.get stats "frag_misses"));
+                ("frag_hits_post_republish", I (Stats.get stats "frag_hits_post_republish"));
+                ("frag_misses_post_republish", I (Stats.get stats "frag_misses_post_republish"));
+                ( "post_republish_hit_rate",
+                  F
+                    (frag_rate
+                       (Stats.get stats "frag_hits_post_republish")
+                       (Stats.get stats "frag_misses_post_republish")) );
                 ("verify_failures", I (!failures + !repub_failures));
                 ("per_replica", O (List.map (fun (name, n) -> (name, I n)) replica_counts));
               ])

@@ -28,6 +28,11 @@ type t = {
       (** rebuild cache populated by this build, carried into the next
           [rebuild_structure]; pure function results only, never
           structure *)
+  frags : Fragment.t;
+      (** content-addressed VO fragment cache consulted by [Server]
+          assembly; carried (same object) across [apply] so fragments
+          of untouched records keep hitting after a republish — sound
+          because keys commit full content, never structure *)
 }
 
 let scheme t = t.scheme
@@ -36,6 +41,10 @@ let signature_size t = t.signature_size
 let table t = t.table
 let itree t = t.itree
 let sorting t = t.sorting
+let fragments t = t.frags
+let record_digest t pos = t.rdig.(pos)
+let drop_fragment_cache t = { t with frags = Fragment.create () }
+let without_fragment_cache t = { t with frags = Fragment.disabled () }
 
 let root_signature t =
   match t.root_signature with
@@ -181,8 +190,8 @@ let build_structure ~seed ?fmh_storage ?prev ~pool table =
 (* The assembled index keeps each signing digest next to its signature:
    the incremental [apply] keys its signature reuse on them, and tests
    compare them directly under fake signers. *)
-let assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sorting rdig
-    ~sign_root ~sign_leaf =
+let assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo ~frags table itree sorting
+    rdig ~sign_root ~sign_leaf =
   let n_leaves = Table.size table + 2 in
   match scheme with
   | One_signature ->
@@ -202,6 +211,7 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sortin
       root_digest = Some root_digest;
       leaf_digests = [||];
       memo;
+      frags;
     }
   | Multi_signature ->
     let domain = Table.domain table in
@@ -240,13 +250,14 @@ let assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sortin
       root_digest = None;
       leaf_digests = Array.map fst signed;
       memo;
+      frags;
     }
 
 let build ?(seed = default_seed) ?fmh_storage ?(epoch = 0) ?pool ~scheme table keypair =
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let itree, sorting, rdig, memo = build_structure ~seed ?fmh_storage ~pool table in
   assemble ~scheme ~seed ~epoch ~signature_size:keypair.Signer.signature_size ~pool ~memo
-    table itree sorting rdig
+    ~frags:(Fragment.create ()) table itree sorting rdig
     ~sign_root:keypair.Signer.sign
     ~sign_leaf:(fun _ d -> keypair.Signer.sign d)
 
@@ -263,11 +274,25 @@ let rebuild_structure ~pool t table =
   build_structure ~seed:t.seed ~fmh_storage:(Sorting.storage t.sorting) ~prev:t ~pool
     table
 
+(* Fragments dirtied by a change list: entries naming a changed record
+   id, plus everything committing the whole structure. Purged from the
+   carried cache on every apply path — content keys make stale entries
+   unreachable anyway; the purge just frees their slots promptly. *)
+let purge_fragments t changes =
+  Fragment.purge t.frags
+    ~ids:
+      (List.map
+         (function
+           | Update.Insert r | Update.Modify r -> Record.id r
+           | Update.Delete id -> id)
+         changes)
+
 let apply ?epoch ?pool keypair changes t =
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let epoch = match epoch with Some e -> e | None -> t.epoch + 1 in
   if epoch < t.epoch then invalid_arg "Ifmh.apply: epoch must not decrease";
   let table = Update.apply_table changes t.table in
+  purge_fragments t changes;
   let itree, sorting, rdig, memo = rebuild_structure ~pool t table in
   (* Deterministic signing (PKCS#1-style RSA padding, RFC-6979-style DSA
      nonces) makes signature reuse sound: same digest, same bytes. Only
@@ -283,7 +308,8 @@ let apply ?epoch ?pool keypair changes t =
     match Hashtbl.find_opt cache d with Some s -> s | None -> keypair.Signer.sign d
   in
   assemble ~scheme:t.scheme ~seed:t.seed ~epoch
-    ~signature_size:keypair.Signer.signature_size ~pool ~memo table itree sorting rdig
+    ~signature_size:keypair.Signer.signature_size ~pool ~memo ~frags:t.frags table itree
+    sorting rdig
     ~sign_root:sign
     ~sign_leaf:(fun _ d -> sign d)
 
@@ -343,6 +369,7 @@ let apply_delta ?pool (d : delta) (t : t) =
     | table -> table
     | exception Invalid_argument m -> failwith ("Ifmh.apply_delta: " ^ m)
   in
+  purge_fragments t d.changes;
   let itree, sorting, rdig, memo = rebuild_structure ~pool t table in
   (match t.scheme with
   | One_signature ->
@@ -351,7 +378,7 @@ let apply_delta ?pool (d : delta) (t : t) =
     if Array.length d.leaf_signatures <> Itree.leaf_count itree then
       failwith "Ifmh.apply_delta: signature count mismatch");
   assemble ~scheme:t.scheme ~seed:t.seed ~epoch:d.epoch ~signature_size:t.signature_size
-    ~pool ~memo table itree sorting rdig
+    ~pool ~memo ~frags:t.frags table itree sorting rdig
     ~sign_root:(fun _ -> Option.value ~default:"" d.root_signature)
     ~sign_leaf:(fun id _ -> d.leaf_signatures.(id))
 
@@ -405,7 +432,8 @@ let load ?fmh_storage ?pool r =
   (* attach the stored signatures through the same assembly path *)
   let stored_root = root_signature in
   let t =
-    assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo table itree sorting rdig
+    assemble ~scheme ~seed ~epoch ~signature_size ~pool ~memo
+      ~frags:(Fragment.create ()) table itree sorting rdig
       ~sign_root:(fun _ -> Option.value ~default:"" stored_root)
       ~sign_leaf:(fun id _ -> leaf_signatures.(id))
   in

@@ -75,9 +75,27 @@ type vo = {
 type response = { result : Aqv_db.Record.t list; vo : vo }
 
 val answer : t -> Query.t -> response
-(** Linear-scan subdomain location (each scanned cell ticks the
-    mesh-cell counter in {!Aqv_util.Metrics}), then the same window
-    semantics as the IFMH server. *)
+(** Binary-search subdomain location ({!locate_cell}), then the same
+    window semantics as the IFMH server. *)
+
+val locate_cell : t -> Aqv_num.Rational.t -> int
+(** O(log S) point location: binary search over the sorted cell
+    boundaries (exact rationals; half-open cells, the last cell
+    right-closed, so facet ties resolve to the cell on the right).
+    Every boundary probe ticks the mesh-cell and location sign-test
+    counters in {!Aqv_util.Metrics}.
+    @raise Invalid_argument left of the domain (points right of it
+    clamp to the last cell, as the scan always did). *)
+
+val locate_cell_scan : t -> Aqv_num.Rational.t -> int
+(** The original O(S) linear scan, kept as the semantic reference:
+    [locate_cell] must agree with it everywhere, including exact facet
+    points and the domain endpoints (qcheck'd in [test/test_core.ml]).
+    Same counters, one tick per scanned cell. *)
+
+val cell_bounds : t -> (Aqv_num.Rational.t * Aqv_num.Rational.t) array
+(** Per-cell [(lob, hib)] intervals, left to right — the boundary
+    positions the locate functions search. *)
 
 val vo_size_bytes : vo -> int
 

@@ -10,67 +10,158 @@ type response = { result : Aqv_db.Record.t list; vo : Vo.t }
 
 (* Build the response for a window (in FMH coordinates, sentinel at 0)
    inside the located leaf: boundary records, FMH range proof, and the
-   scheme-dependent subdomain proof. Shared by [answer] and [rank]. *)
-let assemble index x path_nodes (leaf : Itree.leaf) lists (wlo, whi) =
+   scheme-dependent subdomain proof. Shared by [answer] and [rank].
+
+   Every piece goes through the index's [Fragment] cache, keyed by the
+   full content it is a function of (record digests, window position,
+   FMH root, sibling hashes) — so a hit returns exactly the bytes a
+   cold assembly would build, and window fragments keep hitting across
+   republishes that did not touch their records. The epoch-dependent VO
+   fields (epoch, [n_leaves], signature) are always taken from the live
+   index. On a miss, the build ticks the same node-visit counters as an
+   uncached assembly. *)
+let assemble index path_nodes (leaf : Itree.leaf) lists (wlo, whi) =
   let table = Ifmh.table index in
+  let frags = Ifmh.fragments index in
   let order = lists.Sorting.order in
   let n = Pvec.length order in
+  let digest_at pos = Ifmh.record_digest index (Pvec.get order (pos - 1)) in
   let record_at pos =
     Aqv_util.Metrics.add_fmh_nodes 1;
     Table.record table (Pvec.get order (pos - 1))
   in
-  let left = if wlo - 1 = 0 then Vo.Min_sentinel else Vo.Boundary_record (record_at (wlo - 1)) in
-  let right =
-    if whi + 1 = n + 1 then Vo.Max_sentinel else Vo.Boundary_record (record_at (whi + 1))
+  let left_d = if wlo - 1 = 0 then Record.min_sentinel_digest else digest_at (wlo - 1) in
+  let right_d =
+    if whi + 1 = n + 1 then Record.max_sentinel_digest else digest_at (whi + 1)
   in
-  let fmh_proof = Mht.range_proof lists.Sorting.fmh ~lo:(wlo - 1) ~hi:(whi + 1) in
-  let result = List.init (whi - wlo + 1) (fun k -> record_at (wlo + k)) in
+  let result_d = List.init (whi - wlo + 1) (fun k -> digest_at (wlo + k)) in
+  let wkey = Fragment.window_key ~window_lo:wlo ~left:left_d ~result:result_d ~right:right_d in
+  let win =
+    match Fragment.find frags wkey with
+    | Some (Fragment.Window w) -> w
+    | Some _ -> assert false (* the key's kind tag rules this out *)
+    | None ->
+      let left =
+        if wlo - 1 = 0 then Vo.Min_sentinel else Vo.Boundary_record (record_at (wlo - 1))
+      in
+      let right =
+        if whi + 1 = n + 1 then Vo.Max_sentinel else Vo.Boundary_record (record_at (whi + 1))
+      in
+      let result = List.init (whi - wlo + 1) (fun k -> record_at (wlo + k)) in
+      let w = { Fragment.left; right; result } in
+      let boundary_ids = function Vo.Boundary_record r -> [ Record.id r ] | _ -> [] in
+      let ids = boundary_ids left @ List.map Record.id result @ boundary_ids right in
+      Fragment.add frags wkey ~deps:(Fragment.Records ids) (Fragment.Window w);
+      w
+  in
+  let rkey =
+    Fragment.range_key ~fmh_root:(Mht.root lists.Sorting.fmh) ~lo:(wlo - 1) ~hi:(whi + 1)
+  in
+  let fmh_proof =
+    match Fragment.find frags rkey with
+    | Some (Fragment.Range p) -> p
+    | Some _ -> assert false
+    | None ->
+      let p = Mht.range_proof lists.Sorting.fmh ~lo:(wlo - 1) ~hi:(whi + 1) in
+      Fragment.add frags rkey ~deps:Fragment.Whole_index (Fragment.Range p);
+      p
+  in
   let subdomain, signature =
     match Ifmh.scheme index with
     | Ifmh.One_signature ->
-      let steps =
-        List.rev_map
-          (fun (node : Itree.node) ->
-            match node.Itree.kind with
+      let leaf_node = (Itree.leaves (Ifmh.itree index)).(leaf.Itree.id) in
+      (* Annotate the descent root-first. [taken] is structural — which
+         child the path continues through — which is exactly the side
+         the sign test in [Itree.locate] routed to. *)
+      let annotated =
+        let rec go = function
+          | [] -> []
+          | (node : Itree.node) :: rest ->
+            let next = match rest with n :: _ -> n | [] -> leaf_node in
+            (match node.Itree.kind with
             | Itree.Leaf _ -> assert false
             | Itree.Inode inode ->
-              (* fetching the sibling hash revisits the node *)
-              Aqv_util.Metrics.add_itree_nodes 1;
               let taken =
-                if Q.sign (Linfun.eval inode.Itree.diff x) >= 0 then Halfspace.Above
-                else Halfspace.Below
+                if inode.Itree.above == next then Halfspace.Above else Halfspace.Below
               in
               let sibling =
                 match taken with
                 | Halfspace.Above -> inode.Itree.below.Itree.h
                 | Halfspace.Below -> inode.Itree.above.Itree.h
               in
-              {
-                Vo.rp = Table.record table inode.Itree.i;
-                rq = Table.record table inode.Itree.j;
-                taken;
-                sibling;
-              })
-          path_nodes
+              (inode, taken, sibling) :: go rest)
+        in
+        go path_nodes
       in
-      (Vo.One_sig_path steps, Ifmh.root_signature index)
+      let pkey =
+        Fragment.one_sig_key
+          (List.map
+             (fun ((inode : Itree.inode), taken, sibling) ->
+               ( Ifmh.record_digest index inode.Itree.i,
+                 Ifmh.record_digest index inode.Itree.j,
+                 taken,
+                 sibling ))
+             annotated)
+      in
+      let proof =
+        match Fragment.find frags pkey with
+        | Some (Fragment.Proof p) -> p
+        | Some _ -> assert false
+        | None ->
+          let steps =
+            List.rev_map
+              (fun ((inode : Itree.inode), taken, sibling) ->
+                (* fetching the sibling hash revisits the node *)
+                Aqv_util.Metrics.add_itree_nodes 1;
+                {
+                  Vo.rp = Table.record table inode.Itree.i;
+                  rq = Table.record table inode.Itree.j;
+                  taken;
+                  sibling;
+                })
+              annotated
+          in
+          let p = Vo.One_sig_path steps in
+          Fragment.add frags pkey ~deps:Fragment.Whole_index (Fragment.Proof p);
+          p
+      in
+      (proof, Ifmh.root_signature index)
     | Ifmh.Multi_signature ->
-      let cons =
-        List.rev_map
-          (fun (i, j, side) -> (Table.record table i, Table.record table j, side))
-          leaf.Itree.cons
+      let pkey =
+        Fragment.multi_sig_key
+          (List.rev_map
+             (fun (i, j, side) ->
+               (Ifmh.record_digest index i, Ifmh.record_digest index j, side))
+             leaf.Itree.cons)
       in
-      (Vo.Multi_sig_constraints cons, Ifmh.leaf_signature index leaf.Itree.id)
+      let proof =
+        match Fragment.find frags pkey with
+        | Some (Fragment.Proof p) -> p
+        | Some _ -> assert false
+        | None ->
+          let cons =
+            List.rev_map
+              (fun (i, j, side) -> (Table.record table i, Table.record table j, side))
+              leaf.Itree.cons
+          in
+          let ids =
+            List.concat_map (fun (rp, rq, _) -> [ Record.id rp; Record.id rq ]) cons
+          in
+          let p = Vo.Multi_sig_constraints cons in
+          Fragment.add frags pkey ~deps:(Fragment.Records ids) (Fragment.Proof p);
+          p
+      in
+      (proof, Ifmh.leaf_signature index leaf.Itree.id)
   in
   {
-    result;
+    result = win.Fragment.result;
     vo =
       {
         Vo.n_leaves = n + 2;
         epoch = Ifmh.epoch index;
         window_lo = wlo;
-        left;
-        right;
+        left = win.Fragment.left;
+        right = win.Fragment.right;
         fmh_proof;
         subdomain;
         signature;
@@ -100,7 +191,7 @@ let answer index query =
       let ins = Query.insertion_point ~n ~score l in
       (ins + 1, ins)
   in
-  assemble index x path_nodes leaf lists window
+  assemble index path_nodes leaf lists window
 
 let rank index ~x ~record_id =
   let table = Ifmh.table index in
@@ -126,7 +217,7 @@ let rank index ~x ~record_id =
       else find (i + 1)
     in
     let i = find (Query.insertion_point ~n ~score s) in
-    Some (assemble index x path_nodes leaf lists (i + 1, i + 1))
+    Some (assemble index path_nodes leaf lists (i + 1, i + 1))
 
 let response_result_size resp =
   let w = Aqv_util.Wire.writer () in

@@ -29,6 +29,10 @@ type t = {
   mutable compactions : int;
   mutable memo_pair_hits : int;
   mutable memo_fmh_hits : int;
+  mutable frag_hits : int;
+  mutable frag_misses : int;
+  mutable frag_hits_post_republish : int;
+  mutable frag_misses_post_republish : int;
   mutable epoch : int;
   mutable followers_connected : int;
   mutable deltas_shipped : int;
@@ -65,6 +69,10 @@ let create () =
     compactions = 0;
     memo_pair_hits = 0;
     memo_fmh_hits = 0;
+    frag_hits = 0;
+    frag_misses = 0;
+    frag_hits_post_republish = 0;
+    frag_misses_post_republish = 0;
     epoch = 0;
     followers_connected = 0;
     deltas_shipped = 0;
@@ -115,6 +123,13 @@ let add_memo_hits t ~pairs ~fmh =
       t.memo_pair_hits <- t.memo_pair_hits + pairs;
       t.memo_fmh_hits <- t.memo_fmh_hits + fmh)
 
+let set_frag_counters t ~hits ~misses ~post_republish_hits ~post_republish_misses =
+  locked t (fun () ->
+      t.frag_hits <- hits;
+      t.frag_misses <- misses;
+      t.frag_hits_post_republish <- post_republish_hits;
+      t.frag_misses_post_republish <- post_republish_misses)
+
 let set_epoch t e = locked t (fun () -> t.epoch <- e)
 
 let follower_connected t =
@@ -160,6 +175,10 @@ let to_assoc t =
           ("compactions", t.compactions);
           ("memo_pair_hits", t.memo_pair_hits);
           ("memo_fmh_hits", t.memo_fmh_hits);
+          ("frag_hits", t.frag_hits);
+          ("frag_misses", t.frag_misses);
+          ("frag_hits_post_republish", t.frag_hits_post_republish);
+          ("frag_misses_post_republish", t.frag_misses_post_republish);
           ("epoch", t.epoch);
           ("followers_connected", t.followers_connected);
           ("deltas_shipped", t.deltas_shipped);
@@ -187,10 +206,12 @@ let pp ppf t =
         t.req_query + t.req_rank + t.req_count + t.req_stats + t.req_republish
       in
       Format.fprintf ppf
-        "req=%d (q=%d r=%d c=%d s=%d bad=%d) refused=%d cache=%d/%d conns=%d \
-         shed=%d dropped=%d in=%dB out=%dB lat[%a]"
+        "req=%d (q=%d r=%d c=%d s=%d bad=%d) refused=%d cache=%d/%d frag=%d/%d \
+         conns=%d shed=%d dropped=%d in=%dB out=%dB lat[%a]"
         requests t.req_query t.req_rank t.req_count t.req_stats t.req_malformed
         t.refused t.cache_hits
         (t.cache_hits + t.cache_misses)
+        t.frag_hits
+        (t.frag_hits + t.frag_misses)
         t.conns_accepted t.conns_refused t.sessions_dropped t.bytes_in
         t.bytes_out Histogram.pp t.latency)

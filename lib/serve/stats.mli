@@ -46,6 +46,21 @@ val add_memo_hits : t -> pairs:int -> fmh:int -> unit
     {!Aqv_util.Metrics} delta around a republish) so remote clients see
     them in [Protocol.Stats]. *)
 
+val set_frag_counters :
+  t ->
+  hits:int ->
+  misses:int ->
+  post_republish_hits:int ->
+  post_republish_misses:int ->
+  unit
+(** Gauges: the serving index's VO fragment-cache counters
+    ({!Aqv.Fragment.counters}, race-free per-cache tallies), plus the
+    same counters rebased at the last {!Engine.swap_index} — the
+    post-republish split a CI guard asserts is nonzero. Refreshed by
+    the engine on every [Get_stats]; exported as ["frag_hits"],
+    ["frag_misses"], ["frag_hits_post_republish"],
+    ["frag_misses_post_republish"]. *)
+
 val compacted : t -> unit
 (** The store rewrote its snapshot and reset the log. *)
 

@@ -11,6 +11,9 @@ type snapshot = {
   memo_pair_misses : int;
   memo_fmh_hits : int;
   memo_fmh_misses : int;
+  locate_sign_tests : int;
+  frag_hits : int;
+  frag_misses : int;
 }
 
 (* Atomic, not plain refs: library code ticks these from whatever domain
@@ -29,6 +32,9 @@ let memo_pair_hits = Atomic.make 0
 let memo_pair_misses = Atomic.make 0
 let memo_fmh_hits = Atomic.make 0
 let memo_fmh_misses = Atomic.make 0
+let locate_sign_tests = Atomic.make 0
+let frag_hits = Atomic.make 0
+let frag_misses = Atomic.make 0
 
 let reset () =
   Atomic.set hash_ops 0;
@@ -42,7 +48,10 @@ let reset () =
   Atomic.set memo_pair_hits 0;
   Atomic.set memo_pair_misses 0;
   Atomic.set memo_fmh_hits 0;
-  Atomic.set memo_fmh_misses 0
+  Atomic.set memo_fmh_misses 0;
+  Atomic.set locate_sign_tests 0;
+  Atomic.set frag_hits 0;
+  Atomic.set frag_misses 0
 
 let snapshot () =
   {
@@ -58,6 +67,9 @@ let snapshot () =
     memo_pair_misses = Atomic.get memo_pair_misses;
     memo_fmh_hits = Atomic.get memo_fmh_hits;
     memo_fmh_misses = Atomic.get memo_fmh_misses;
+    locate_sign_tests = Atomic.get locate_sign_tests;
+    frag_hits = Atomic.get frag_hits;
+    frag_misses = Atomic.get frag_misses;
   }
 
 let diff a b =
@@ -74,18 +86,23 @@ let diff a b =
     memo_pair_misses = a.memo_pair_misses - b.memo_pair_misses;
     memo_fmh_hits = a.memo_fmh_hits - b.memo_fmh_hits;
     memo_fmh_misses = a.memo_fmh_misses - b.memo_fmh_misses;
+    locate_sign_tests = a.locate_sign_tests - b.locate_sign_tests;
+    frag_hits = a.frag_hits - b.frag_hits;
+    frag_misses = a.frag_misses - b.frag_misses;
   }
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>hash_ops=%d hash_bytes=%d@ sign_ops=%d verify_ops=%d@ \
-     itree_nodes=%d fmh_nodes=%d mesh_cells=%d@ bytes_out=%d@ \
-     memo_pairs=%d/%d memo_fmh=%d/%d@]"
+     itree_nodes=%d fmh_nodes=%d mesh_cells=%d locate_tests=%d@ \
+     bytes_out=%d@ memo_pairs=%d/%d memo_fmh=%d/%d frags=%d/%d@]"
     s.hash_ops s.hash_bytes s.sign_ops s.verify_ops s.itree_nodes
-    s.fmh_nodes s.mesh_cells s.bytes_out s.memo_pair_hits
+    s.fmh_nodes s.mesh_cells s.locate_sign_tests s.bytes_out s.memo_pair_hits
     (s.memo_pair_hits + s.memo_pair_misses)
     s.memo_fmh_hits
     (s.memo_fmh_hits + s.memo_fmh_misses)
+    s.frag_hits
+    (s.frag_hits + s.frag_misses)
 
 let add n v = ignore (Atomic.fetch_and_add n v : int)
 
@@ -103,5 +120,8 @@ let add_memo_pair_hit () = Atomic.incr memo_pair_hits
 let add_memo_pair_miss () = Atomic.incr memo_pair_misses
 let add_memo_fmh_hit () = Atomic.incr memo_fmh_hits
 let add_memo_fmh_miss () = Atomic.incr memo_fmh_misses
+let add_locate_sign_tests n = add locate_sign_tests n
+let add_frag_hit () = Atomic.incr frag_hits
+let add_frag_miss () = Atomic.incr frag_misses
 
 let total_node_visits s = s.itree_nodes + s.fmh_nodes + s.mesh_cells

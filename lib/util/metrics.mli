@@ -31,6 +31,16 @@ type snapshot = {
       (** subdomain FMH-trees reused (possibly patched) from the
           previous index during a rebuild *)
   memo_fmh_misses : int;  (** subdomain FMH-trees hashed from scratch *)
+  locate_sign_tests : int;
+      (** exact-rational sign tests spent locating the subdomain of a
+          query point: one per I-tree descent step, one per mesh
+          boundary comparison (binary search and linear scan alike) —
+          the counter behind the O(S) vs O(log S) point-location
+          figures and the CI sub-linearity guard *)
+  frag_hits : int;
+      (** VO fragments served from the content-addressed fragment
+          cache (see [Aqv.Fragment]) instead of being reassembled *)
+  frag_misses : int;  (** VO fragments assembled from the index *)
 }
 
 val reset : unit -> unit
@@ -57,6 +67,9 @@ val add_memo_pair_hit : unit -> unit
 val add_memo_pair_miss : unit -> unit
 val add_memo_fmh_hit : unit -> unit
 val add_memo_fmh_miss : unit -> unit
+val add_locate_sign_tests : int -> unit
+val add_frag_hit : unit -> unit
+val add_frag_miss : unit -> unit
 
 val total_node_visits : snapshot -> int
 (** [itree_nodes + fmh_nodes + mesh_cells]: the paper's "server cost". *)

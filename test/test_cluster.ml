@@ -252,6 +252,30 @@ let test_follower_identity (scheme, dims, seed) () =
                 (Stats.get (Engine.stats primary.n_engine) "deltas_shipped");
               check Alcotest.int "epoch gauge tracks" (steps + 1)
                 (Stats.get (Engine.stats follower.n_engine) "epoch");
+              (* both replicas export the VO fragment-cache counters;
+                 serving one query assembles (and misses) fragments *)
+              List.iter
+                (fun node ->
+                  let q =
+                    Query.top_k ~x:(Aqv_num.Domain.center (Table.domain !tbl)) ~k:2
+                  in
+                  (match
+                     Roundtrip.call ~port:(Engine.port node.n_engine)
+                       (Protocol.Run_query q)
+                   with
+                  | Protocol.Answer _ -> ()
+                  | _ -> Alcotest.fail "expected Answer");
+                  match
+                    Roundtrip.call ~port:(Engine.port node.n_engine) Protocol.Get_stats
+                  with
+                  | Protocol.Stats kvs ->
+                    check Alcotest.bool "frag rows exported" true
+                      (List.mem_assoc "frag_hits" kvs
+                      && List.mem_assoc "frag_hits_post_republish" kvs);
+                    check Alcotest.bool "fragments assembled" true
+                      (List.assoc "frag_misses" kvs >= 1)
+                  | _ -> Alcotest.fail "expected Stats")
+                [ primary; follower ];
               (* a wire republish against the replica must be refused:
                  only the replication stream mutates it *)
               let stray = gen_changes ~dims prng !tbl 1 in

@@ -565,6 +565,98 @@ let test_mesh_counts () =
   (* mesh needs far more signatures than subdomains exist *)
   check Alcotest.bool "signatures >= cells" true (sigs >= cells)
 
+(* ------------------------------ locate ------------------------------ *)
+
+(* O(log S) binary-search point location must agree with the linear-scan
+   reference everywhere — especially at exact facet points and the
+   domain endpoints, where a tie must resolve to the same cell
+   (half-open cells, the last right-closed). *)
+let test_locate_binary_eq_scan () =
+  let kp = Lazy.force keypair in
+  List.iter
+    (fun (n, seed) ->
+      let table = Workload.lines_1d ~n (Prng.create seed) in
+      let mesh = Mesh.build table kp in
+      let bounds = Mesh.cell_bounds mesh in
+      let ncells = Array.length bounds in
+      let lo = fst bounds.(0) and hi = snd bounds.(ncells - 1) in
+      let points = ref [] in
+      (* every facet and both domain endpoints, exactly *)
+      Array.iter (fun (l, h) -> points := l :: h :: !points) bounds;
+      (* plus 500 random points across the domain *)
+      let rng = Prng.create 61L in
+      for _ = 1 to 500 do
+        let num = Prng.int rng 100_001 in
+        points := Q.add lo (Q.mul (Q.sub hi lo) (Q.of_ints num 100_000)) :: !points
+      done;
+      List.iter
+        (fun x ->
+          let b = Mesh.locate_cell mesh x in
+          let s = Mesh.locate_cell_scan mesh x in
+          if b <> s then
+            Alcotest.failf "n=%d: binary=%d scan=%d at x=%s" n b s (Q.to_string x);
+          let l, h = bounds.(min b (ncells - 1)) in
+          if Q.compare x l < 0 || (Q.compare x h > 0 && b < ncells - 1) then
+            Alcotest.failf "n=%d: cell %d does not contain %s" n b (Q.to_string x))
+        !points)
+    [ (2, 62L); (7, 63L); (18, 64L) ]
+
+let test_locate_outside_domain () =
+  let kp = Lazy.force keypair in
+  let table = Workload.lines_1d ~n:6 (Prng.create 65L) in
+  let mesh = Mesh.build table kp in
+  let bounds = Mesh.cell_bounds mesh in
+  let lo = fst bounds.(0) and hi = snd bounds.(Array.length bounds - 1) in
+  let left = Q.sub lo Q.one in
+  let msg = Printf.sprintf "Mesh.locate_cell: point %s outside domain" (Q.to_string left) in
+  Alcotest.check_raises "binary raises left of domain" (Invalid_argument msg) (fun () ->
+      ignore (Mesh.locate_cell mesh left));
+  Alcotest.check_raises "scan raises left of domain" (Invalid_argument msg) (fun () ->
+      ignore (Mesh.locate_cell_scan mesh left));
+  (* right of the domain clamps to the last cell, as the scan always did *)
+  let right = Q.add hi Q.one in
+  check Alcotest.int "clamps right of domain" (Mesh.locate_cell_scan mesh right)
+    (Mesh.locate_cell mesh right)
+
+(* CI guard: location cost must grow sub-linearly in the subdomain
+   count. With S growing >= 8x, a linear scan would pay ~that much more
+   per query; binary search and the I-tree descent must stay within 3x.
+   Deterministic: fixed seeds, fixed probe set, exact counters. *)
+let test_locate_sublinear () =
+  let kp = Lazy.force keypair in
+  let measure n seed =
+    let table = Workload.lines_1d ~n (Prng.create seed) in
+    let mesh = Mesh.build table kp in
+    let index = Ifmh.build ~scheme:Ifmh.Multi_signature table kp in
+    let itree = Ifmh.itree index in
+    let bounds = Mesh.cell_bounds mesh in
+    let ncells = Array.length bounds in
+    let lo = fst bounds.(0) and hi = snd bounds.(ncells - 1) in
+    let probes = 64 in
+    let point k = Q.add lo (Q.mul (Q.sub hi lo) (Q.of_ints ((2 * k) + 1) (2 * probes))) in
+    Aqv_util.Metrics.reset ();
+    for k = 0 to probes - 1 do
+      ignore (Mesh.locate_cell mesh (point k))
+    done;
+    let mesh_tests = (Aqv_util.Metrics.snapshot ()).Aqv_util.Metrics.locate_sign_tests in
+    Aqv_util.Metrics.reset ();
+    for k = 0 to probes - 1 do
+      ignore (Itree.locate itree [| point k |])
+    done;
+    let itree_tests = (Aqv_util.Metrics.snapshot ()).Aqv_util.Metrics.locate_sign_tests in
+    (ncells, mesh_tests, itree_tests)
+  in
+  let s_small, mesh_small, itree_small = measure 12 66L in
+  let s_big, mesh_big, itree_big = measure 36 67L in
+  check Alcotest.bool "S grew >= 8x" true (s_big >= 8 * s_small);
+  let ratio a b = float_of_int a /. float_of_int b in
+  if ratio mesh_big mesh_small >= 3. then
+    Alcotest.failf "mesh location cost not sub-linear: S=%d %d tests vs S=%d %d tests"
+      s_big mesh_big s_small mesh_small;
+  if ratio itree_big itree_small >= 3. then
+    Alcotest.failf "itree location cost not sub-linear: S=%d %d tests vs S=%d %d tests"
+      s_big itree_big s_small itree_small
+
 let test_mesh_rejects_2d () =
   let table = Workload.scored ~n:4 ~dims:2 (Prng.create 55L) in
   Alcotest.check_raises "2d" (Invalid_argument "Mesh.build: 1-D tables only") (fun () ->
@@ -614,6 +706,12 @@ let () =
           Alcotest.test_case "identical functions" `Quick test_identical_functions;
           Alcotest.test_case "shifted/negative domain" `Quick test_custom_domain_e2e;
           Alcotest.test_case "shifted 2d domain" `Quick test_custom_domain_2d;
+        ] );
+      ( "locate",
+        [
+          Alcotest.test_case "binary == scan incl. facets" `Quick test_locate_binary_eq_scan;
+          Alcotest.test_case "outside domain" `Quick test_locate_outside_domain;
+          Alcotest.test_case "sub-linear cost guard" `Quick test_locate_sublinear;
         ] );
       ( "mesh",
         [

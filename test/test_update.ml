@@ -463,6 +463,144 @@ let delta_roundtrip scheme =
 let test_delta_one () = delta_roundtrip Ifmh.One_signature
 let test_delta_multi () = delta_roundtrip Ifmh.Multi_signature
 
+(* --------------------- VO fragment cache identity -------------------- *)
+
+let response_bytes resp =
+  let w = Wire.writer () in
+  Server.encode_response w resp;
+  Wire.contents w
+
+(* Same mix as test_core's random_query: the fragment property must hold
+   for every query type, not just top-k. *)
+let random_query prng table =
+  let x = Workload.weight_point table prng in
+  match Prng.int prng 3 with
+  | 0 -> Query.top_k ~x ~k:(Prng.int_in prng 1 (Table.size table + 2))
+  | 1 ->
+    let size = Prng.int_in prng 1 (Table.size table) in
+    let l, u = Workload.range_for_result_size table ~x ~size in
+    Query.range ~x ~l ~u
+  | _ ->
+    let scores = Workload.scores_at table x in
+    let y = snd scores.(Prng.int prng (Array.length scores)) in
+    Query.knn ~x ~k:(Prng.int_in prng 1 (Table.size table + 1)) ~y
+
+(* The PR-7 headline property: the fragment cache must be invisible in
+   served bytes. At every step of a random republish sequence, a warm
+   carried cache (answered twice: populate, then all-hit), a fresh empty
+   cache, and a disabled cache must produce byte-identical encoded
+   responses — and the client must accept them. *)
+let prop_fragment_identity ~dims ~scheme seed =
+  let prng = Prng.create (Int64.of_int seed) in
+  let n = if dims = 1 then 5 + Prng.int prng 10 else 4 + Prng.int prng 4 in
+  let table0 =
+    if dims = 1 then Workload.lines_1d ~slope_range:40 ~intercept_range:40 ~n prng
+    else Workload.scored ~attr_range:20 ~n ~dims prng
+  in
+  let ctx =
+    Client.make_ctx ~template:(Table.template table0) ~domain:(Table.domain table0)
+      ~verify_signature:fake_keypair.Signer.verify
+  in
+  let table = ref table0 in
+  let index = ref (Ifmh.build ~scheme ~epoch:1 table0 fake_keypair) in
+  let ok = ref true in
+  let rounds = 1 + Prng.int prng 3 in
+  for _round = 1 to rounds do
+    let cold = Ifmh.drop_fragment_cache !index in
+    let off = Ifmh.without_fragment_cache !index in
+    for _q = 1 to 6 do
+      let query = random_query prng !table in
+      let reference = response_bytes (Server.answer off query) in
+      let first = response_bytes (Server.answer !index query) in
+      let again = response_bytes (Server.answer !index query) in
+      let fresh = response_bytes (Server.answer cold query) in
+      ok :=
+        !ok && String.equal reference first && String.equal reference again
+        && String.equal reference fresh
+        && Result.is_ok (Client.verify ctx query (Server.answer !index query))
+    done;
+    let changes = gen_changes ~dims prng !table (1 + Prng.int prng 3) in
+    table := Update.apply_table changes !table;
+    index := Ifmh.apply fake_keypair changes !index
+  done;
+  !ok
+
+(* Exact, deterministic fragment counters: an answer assembles three
+   fragments (window body, FMH range proof, subdomain proof) — the
+   first assembly misses all three, an identical re-answer hits all
+   three, and the cache object's own counters agree with Metrics. *)
+let test_frag_counters () =
+  let table = Workload.lines_1d ~n:8 (Prng.create 90L) in
+  let index = Ifmh.build ~scheme:Ifmh.One_signature ~epoch:1 table fake_keypair in
+  let q = Query.top_k ~x:(Domain.center (Table.domain table)) ~k:3 in
+  let _, m1 = metrics_during (fun () -> ignore (Server.answer index q)) in
+  check Alcotest.int "first answer misses its 3 fragments" 3 m1.Metrics.frag_misses;
+  check Alcotest.int "no hits on a cold cache" 0 m1.Metrics.frag_hits;
+  let _, m2 = metrics_during (fun () -> ignore (Server.answer index q)) in
+  check Alcotest.int "identical re-answer hits all 3" 3 m2.Metrics.frag_hits;
+  check Alcotest.int "no new misses" 0 m2.Metrics.frag_misses;
+  check
+    Alcotest.(pair int int)
+    "per-cache counters agree" (3, 3)
+    (Fragment.counters (Ifmh.fragments index));
+  (* a disabled cache ticks nothing at all *)
+  let off = Ifmh.without_fragment_cache index in
+  let _, m3 = metrics_during (fun () -> ignore (Server.answer off q)) in
+  check Alcotest.int "disabled: no hits" 0 m3.Metrics.frag_hits;
+  check Alcotest.int "disabled: no misses" 0 m3.Metrics.frag_misses
+
+(* The cache is carried across a republish: after modifying one record,
+   re-running a warm query mix must still hit (window fragments of
+   windows that avoid the modified record survive — that is the point
+   of content keys), and the served bytes must stay identical to a
+   disabled-cache assembly. *)
+let test_frag_post_republish () =
+  let table = Workload.lines_1d ~n:10 (Prng.create 91L) in
+  List.iter
+    (fun scheme ->
+      let index = Ifmh.build ~scheme ~epoch:1 table fake_keypair in
+      let queries =
+        let rng = Prng.create 92L in
+        List.init 20 (fun _ -> random_query rng table)
+      in
+      List.iter (fun q -> ignore (Server.answer index q)) queries;
+      let victim = (Table.records table).(0) in
+      let changes =
+        [ Update.Modify (Record.make ~id:(Record.id victim) ~attrs:[| Q.of_int 3; Q.of_int 1 |] ()) ]
+      in
+      let index' = Ifmh.apply fake_keypair changes index in
+      let off = Ifmh.without_fragment_cache index' in
+      let hits = ref 0 in
+      List.iter
+        (fun q ->
+          let _, m =
+            metrics_during (fun () ->
+                let warm = response_bytes (Server.answer index' q) in
+                let plain = response_bytes (Server.answer off q) in
+                check Alcotest.bool "post-republish bytes identical" true
+                  (String.equal warm plain))
+          in
+          hits := !hits + m.Metrics.frag_hits)
+        queries;
+      if !hits = 0 then
+        Alcotest.failf "%s: no fragment survived the republish"
+          (Ifmh.scheme_name scheme))
+    [ Ifmh.One_signature; Ifmh.Multi_signature ]
+
+let fragment_tests =
+  [
+    qtest "served bytes cached = cold = disabled (one-sig, 1-D)" 40 arb_seed
+      (prop_fragment_identity ~dims:1 ~scheme:Ifmh.One_signature);
+    qtest "served bytes cached = cold = disabled (multi-sig, 1-D)" 40 arb_seed
+      (prop_fragment_identity ~dims:1 ~scheme:Ifmh.Multi_signature);
+    qtest "served bytes cached = cold = disabled (one-sig, 2-D)" 25 arb_seed
+      (prop_fragment_identity ~dims:2 ~scheme:Ifmh.One_signature);
+    qtest "served bytes cached = cold = disabled (multi-sig, 2-D)" 25 arb_seed
+      (prop_fragment_identity ~dims:2 ~scheme:Ifmh.Multi_signature);
+    Alcotest.test_case "fragment counters" `Quick test_frag_counters;
+    Alcotest.test_case "fragments survive republish" `Quick test_frag_post_republish;
+  ]
+
 (* ------------------- exact-tie merge/split fixes -------------------- *)
 
 (* r0: x, r1: -x+1 intersect at x = 1/2; r2: the constant 2 crosses
@@ -589,6 +727,7 @@ let () =
           Alcotest.test_case "roundtrip one-sig" `Quick test_delta_one;
           Alcotest.test_case "roundtrip multi-sig" `Quick test_delta_multi;
         ] );
+      ("fragments", fragment_tests);
       ( "ties",
         [
           Alcotest.test_case "merge on parallel update" `Quick test_tie_merge;
