@@ -48,6 +48,13 @@
          an in-process engine, hammer it with M concurrent verifying
          clients, report throughput and tail latency
 
+     aqv_net workload --spec workloads/smoke.json --json out.json
+         declarative traffic model: expand the spec's seed-fixed query
+         trace (zipfian hot-set popularity, mixed top-k/range/KNN,
+         open-loop republishes), replay it against the in-process
+         primary/follower/router rig, and gate on the spec's declared
+         SLOs — non-zero exit on any violation
+
      aqv_net selftest
          fork a server, run owner + client against it (including cache
          and stats checks and a SIGTERM graceful-shutdown check), exit
@@ -60,6 +67,8 @@ module Q = Aqv_num.Rational
 module Prng = Aqv_util.Prng
 module Wire = Aqv_util.Wire
 module Histogram = Aqv_util.Histogram
+module Json = Aqv_util.Json
+module Spec = Aqv_db.Spec
 module Record = Aqv_db.Record
 module Table = Aqv_db.Table
 module Workload = Aqv_db.Workload
@@ -305,31 +314,14 @@ let run_stats port =
 
 (* --------------------------- fsck / compact ------------------------- *)
 
-(* minimal JSON emission: flat objects of strings and ints, enough for
-   fsck --json and bench --json without a dependency *)
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-type json_field = S of string | I of int | F of float | O of (string * json_field) list
-
-let rec json_value = function
-  | S s -> "\"" ^ json_escape s ^ "\""
-  | I n -> string_of_int n
-  | F x -> Printf.sprintf "%.6f" x
-  | O fields ->
-    "{"
-    ^ String.concat ", "
-        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (json_value v)) fields)
-    ^ "}"
+(* machine-readable reports (fsck --json, bench --json, workload
+   --json) all go through Aqv_util.Json; short aliases keep the report
+   builders readable *)
+let json_value = Json.to_string
+let jS s = Json.String s
+let jI n = Json.Int n
+let jF x = Json.Float x
+let jO fields = Json.Obj fields
 
 let run_fsck dir json =
   setup_logging ();
@@ -337,31 +329,30 @@ let run_fsck dir json =
   | Error e ->
     if json then
       print_endline
-        (json_value (O [ ("dir", S dir); ("ok", I 0); ("error", S (Store_error.to_string e)) ]))
+        (json_value (jO [ ("dir", jS dir); ("ok", jI 0); ("error", jS (Store_error.to_string e)) ]))
     else Printf.printf "fsck %s: FAILED\n  %s\n" dir (Store_error.to_string e);
     exit 1
   | Ok r when json ->
     let m = Aqv_util.Metrics.snapshot () in
     print_endline
       (json_value
-         (O
-            [
-              ("dir", S dir);
-              ("ok", I 1);
-              ("scheme", S (Ifmh.scheme_name r.Store.r_scheme));
-              ("snapshot_epoch", I r.Store.r_snapshot_epoch);
-              ("snapshot_bytes", I r.Store.r_snapshot_bytes);
-              ("n_leaves", I r.Store.r_n_leaves);
-              ("log_frames", I r.Store.r_log_frames);
-              ("replayed", I r.Store.r_replayed);
-              ("skipped", I r.Store.r_skipped);
-              ("frames_coalesced", I r.Store.r_coalesced);
-              ("memo_pair_hits", I m.Aqv_util.Metrics.memo_pair_hits);
-              ("memo_fmh_hits", I m.Aqv_util.Metrics.memo_fmh_hits);
-              ("frag_hits", I m.Aqv_util.Metrics.frag_hits);
-              ("frag_misses", I m.Aqv_util.Metrics.frag_misses);
-              ("final_epoch", I r.Store.r_final_epoch);
-              ("torn_tail_bytes", I r.Store.r_torn_tail_bytes);
+         (jO [
+              ("dir", jS dir);
+              ("ok", jI 1);
+              ("scheme", jS (Ifmh.scheme_name r.Store.r_scheme));
+              ("snapshot_epoch", jI r.Store.r_snapshot_epoch);
+              ("snapshot_bytes", jI r.Store.r_snapshot_bytes);
+              ("n_leaves", jI r.Store.r_n_leaves);
+              ("log_frames", jI r.Store.r_log_frames);
+              ("replayed", jI r.Store.r_replayed);
+              ("skipped", jI r.Store.r_skipped);
+              ("frames_coalesced", jI r.Store.r_coalesced);
+              ("memo_pair_hits", jI m.Aqv_util.Metrics.memo_pair_hits);
+              ("memo_fmh_hits", jI m.Aqv_util.Metrics.memo_fmh_hits);
+              ("frag_hits", jI m.Aqv_util.Metrics.frag_hits);
+              ("frag_misses", jI m.Aqv_util.Metrics.frag_misses);
+              ("final_epoch", jI r.Store.r_final_epoch);
+              ("torn_tail_bytes", jI r.Store.r_torn_tail_bytes);
             ]))
   | Ok r ->
     Printf.printf "fsck %s: OK\n" dir;
@@ -412,21 +403,25 @@ let run_compact dir =
    router in front — clients connect to the router, republishes go to
    the primary, and the read throughput should scale with N while every
    reply still verifies. *)
-let run_bench records seed clients requests cache_capacity republish verify
-    replicas json_path =
-  setup_logging ();
-  let replicas = max 1 replicas in
-  let table = Workload.lines_1d ~n:records (Prng.create (Int64.of_int seed)) in
-  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
-  let index = Ifmh.build ~epoch:1 ~scheme:Ifmh.Multi_signature table keypair in
-  let bundle = Protocol.bundle_of_index index keypair.Signer.public in
-  let ctx = Protocol.client_ctx bundle in
+(* Shared in-process serving rig: a primary engine (with a hub when
+   replicas > 1), follower engines tailing its delta stream, and an
+   epoch-aware router in front — the same topology `aqv_net selftest`
+   stands up out-of-process. [f ~engine ~primary_port ~port] runs the
+   load against the front door [port] (the router when replicas > 1,
+   the primary otherwise); once it returns, the rig is torn down in
+   dependency order and the router's per-replica request counts are
+   returned alongside [f]'s result. *)
+let with_rig ~index ~cache_capacity ~max_conns ~replicas f =
+  (* engines, feeders, and the router all write to sockets the load's
+     clients may already have torn down; a late write must surface as
+     an EPIPE in that one connection, never kill the whole process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let engine_cfg accept_republish publisher =
     {
       Engine.default_config with
       port = 0;
       cache_capacity;
-      max_conns = clients + 8;
+      max_conns;
       accept_republish;
       publisher;
     }
@@ -436,8 +431,8 @@ let run_bench records seed clients requests cache_capacity republish verify
   let server = Thread.create Engine.serve engine in
   let primary_port = Engine.port engine in
   (* follower engines share the just-built index as their bootstrap
-     state (no store: this benchmark measures serving, not fsync) and
-     tail the primary like any out-of-process replica would *)
+     state (no store: the rig measures serving, not fsync) and tail the
+     primary like any out-of-process replica would *)
   let follower_engines =
     List.init (replicas - 1) (fun _ -> Engine.create (engine_cfg false None) index)
   in
@@ -458,87 +453,7 @@ let run_bench records seed clients requests cache_capacity republish verify
   in
   let router_server = Option.map (fun r -> Thread.create Router.serve r) router in
   let port = match router with Some r -> Router.port r | None -> primary_port in
-  let failures = ref 0 and failures_mu = Mutex.create () in
-  let client_thread i =
-    let prng = Prng.create (Int64.of_int ((seed * 1000) + i)) in
-    let hist = Histogram.create () in
-    Roundtrip.with_connection ~port (fun fd ->
-        for j = 0 to requests - 1 do
-          let x = Workload.weight_point table prng in
-          let l = Q.of_int (Prng.int_in prng 0 400) in
-          let u = Q.add l (Q.of_int (Prng.int_in prng 50 400)) in
-          let request, check =
-            match j mod 3 with
-            | 0 ->
-              let q = Query.top_k ~x ~k:(1 + Prng.int prng 8) in
-              ( Protocol.Run_query q,
-                function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
-            | 1 ->
-              let q = Query.range ~x ~l ~u in
-              ( Protocol.Run_query q,
-                function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
-            | _ ->
-              ( Protocol.Run_count { x; l; u },
-                function
-                | Protocol.Count_answer r ->
-                  Result.is_ok (Count.verify ctx ~x ~l ~u r)
-                | _ -> false )
-          in
-          let t0 = Unix.gettimeofday () in
-          let reply = Roundtrip.ask fd request in
-          let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-          Histogram.observe hist us;
-          if verify && not (check reply) then begin
-            Mutex.lock failures_mu;
-            incr failures;
-            Mutex.unlock failures_mu
-          end
-        done);
-    hist
-  in
-  (* owner thread: modify one record per epoch, republish over the same
-     wire protocol the clients use, time ask-to-ack *)
-  let repub_hist = Histogram.create () in
-  let repub_failures = ref 0 in
-  let repub_thread () =
-    let prng = Prng.create (Int64.of_int ((seed * 1000) + 999)) in
-    Roundtrip.with_connection ~port:primary_port (fun fd ->
-        let cur = ref index in
-        for e = 2 to republish + 1 do
-          let id = Prng.int prng records in
-          let attrs =
-            [| Q.of_int (Prng.int_in prng 1 100); Q.of_int (Prng.int_in prng 0 500) |]
-          in
-          let changes = [ Update.Modify (Record.make ~id ~attrs ()) ] in
-          let next = Ifmh.apply ~epoch:e keypair changes !cur in
-          let t0 = Unix.gettimeofday () in
-          (match Roundtrip.ask fd (Protocol.Republish (Ifmh.delta ~changes next)) with
-          | Protocol.Republished _ ->
-            Histogram.observe repub_hist
-              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
-          | _ -> incr repub_failures);
-          cur := next
-        done)
-  in
-  let t0 = Unix.gettimeofday () in
-  let hists = Array.make clients (Histogram.create ()) in
-  let threads =
-    List.init clients (fun i ->
-        Thread.create (fun () -> hists.(i) <- client_thread i) ())
-  in
-  let republisher =
-    if republish > 0 then Some (Thread.create repub_thread ()) else None
-  in
-  List.iter Thread.join threads;
-  let wall = Unix.gettimeofday () -. t0 in
-  Option.iter Thread.join republisher;
-  (* post-republish probe pass: replay client 0's deterministic query
-     stream once more after the last swap. The epoch changed, so every
-     probe misses the verbatim response cache and falls back to
-     fragment assembly — fragments warmed before the swap hit for every
-     window the modified records did not touch, which is what the
-     post-republish gauges measure. Runs outside the timed window. *)
-  if republish > 0 then ignore (client_thread 0);
+  let result = f ~engine ~primary_port ~port in
   let replica_counts =
     match router with Some r -> Router.counts r | None -> []
   in
@@ -550,6 +465,123 @@ let run_bench records seed clients requests cache_capacity republish verify
   Engine.stop engine;
   Thread.join server;
   List.iter Thread.join follower_servers;
+  (result, replica_counts)
+
+(* One republish, one connection, one verdict. The connection is opened
+   only once the delta is ready: the owner-side [Ifmh.apply] can outlast
+   the engine's idle_timeout, and a session held open across it gets
+   dropped server-side — the drop then surfaces as EPIPE on the next
+   write and, uncaught, kills the republisher thread silently. The ack
+   wait also gets a generous timeout (the server-side apply of a large
+   delta can outlast the default 5 s), and every failure mode — refusal,
+   timeout, connect error — is counted, never allowed to escape. *)
+let republish_opts = { Roundtrip.default_opts with read_timeout = 120. }
+
+let send_republish ~primary_port ~repub_hist ~repub_failures delta =
+  let t0 = Unix.gettimeofday () in
+  match
+    Roundtrip.with_connection ~opts:republish_opts ~port:primary_port (fun fd ->
+        Roundtrip.ask ~opts:republish_opts fd (Protocol.Republish delta))
+  with
+  | Protocol.Republished _ ->
+    Histogram.observe repub_hist
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+  | _ -> incr repub_failures
+  | exception _ -> incr repub_failures
+
+let run_bench records seed clients requests cache_capacity republish verify
+    replicas json_path =
+  setup_logging ();
+  let replicas = max 1 replicas in
+  let table = Workload.lines_1d ~n:records (Prng.create (Int64.of_int seed)) in
+  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
+  let index = Ifmh.build ~epoch:1 ~scheme:Ifmh.Multi_signature table keypair in
+  let bundle = Protocol.bundle_of_index index keypair.Signer.public in
+  let ctx = Protocol.client_ctx bundle in
+  let failures = ref 0 and failures_mu = Mutex.create () in
+  let repub_hist = Histogram.create () in
+  let repub_failures = ref 0 in
+  let hists = Array.make clients (Histogram.create ()) in
+  let wall = ref 0. in
+  let engine, replica_counts =
+    with_rig ~index ~cache_capacity ~max_conns:(clients + 8) ~replicas
+      (fun ~engine ~primary_port ~port ->
+        let client_thread i =
+          let prng = Prng.create (Int64.of_int ((seed * 1000) + i)) in
+          let hist = Histogram.create () in
+          Roundtrip.with_connection ~port (fun fd ->
+              for j = 0 to requests - 1 do
+                let x = Workload.weight_point table prng in
+                let l = Q.of_int (Prng.int_in prng 0 400) in
+                let u = Q.add l (Q.of_int (Prng.int_in prng 50 400)) in
+                let request, check =
+                  match j mod 3 with
+                  | 0 ->
+                    let q = Query.top_k ~x ~k:(1 + Prng.int prng 8) in
+                    ( Protocol.Run_query q,
+                      function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
+                  | 1 ->
+                    let q = Query.range ~x ~l ~u in
+                    ( Protocol.Run_query q,
+                      function Protocol.Answer r -> Client.accepts ctx q r | _ -> false )
+                  | _ ->
+                    ( Protocol.Run_count { x; l; u },
+                      function
+                      | Protocol.Count_answer r ->
+                        Result.is_ok (Count.verify ctx ~x ~l ~u r)
+                      | _ -> false )
+                in
+                let t0 = Unix.gettimeofday () in
+                let reply = Roundtrip.ask fd request in
+                let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+                Histogram.observe hist us;
+                if verify && not (check reply) then begin
+                  Mutex.lock failures_mu;
+                  incr failures;
+                  Mutex.unlock failures_mu
+                end
+              done);
+          hist
+        in
+        (* owner thread: modify one record per epoch, republish over the
+           same wire protocol the clients use, time ask-to-ack *)
+        let repub_thread () =
+          let prng = Prng.create (Int64.of_int ((seed * 1000) + 999)) in
+          let cur = ref index in
+          for e = 2 to republish + 1 do
+            let id = Prng.int prng records in
+            let attrs =
+              [| Q.of_int (Prng.int_in prng 1 100); Q.of_int (Prng.int_in prng 0 500) |]
+            in
+            let changes = [ Update.Modify (Record.make ~id ~attrs ()) ] in
+            let next = Ifmh.apply ~epoch:e keypair changes !cur in
+            send_republish ~primary_port ~repub_hist ~repub_failures
+              (Ifmh.delta ~changes next);
+            cur := next
+          done
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun i ->
+              Thread.create (fun () -> hists.(i) <- client_thread i) ())
+        in
+        let republisher =
+          if republish > 0 then Some (Thread.create repub_thread ()) else None
+        in
+        List.iter Thread.join threads;
+        wall := Unix.gettimeofday () -. t0;
+        Option.iter Thread.join republisher;
+        (* post-republish probe pass: replay client 0's deterministic
+           query stream once more after the last swap. The epoch
+           changed, so every probe misses the verbatim response cache
+           and falls back to fragment assembly — fragments warmed
+           before the swap hit for every window the modified records
+           did not touch, which is what the post-republish gauges
+           measure. Runs outside the timed window. *)
+        if republish > 0 then ignore (client_thread 0);
+        engine)
+  in
+  let wall = !wall in
   let hist = Array.fold_left Histogram.merge (Histogram.create ()) hists in
   let total = clients * requests in
   let stats = Engine.stats engine in
@@ -603,35 +635,306 @@ let run_bench records seed clients requests cache_capacity republish verify
     (fun path ->
       write_file path
         (json_value
-           (O
-              [
-                ("records", I records);
-                ("clients", I clients);
-                ("requests_per_client", I requests);
-                ("replicas", I replicas);
-                ("republished", I (Histogram.count repub_hist));
-                ("wall_s", F wall);
-                ("throughput_rps", F (float_of_int total /. wall));
-                ("latency_us_p50", I (Histogram.percentile hist 50));
-                ("latency_us_p90", I (Histogram.percentile hist 90));
-                ("latency_us_p99", I (Histogram.percentile hist 99));
-                ("latency_us_max", I (Histogram.max_value hist));
-                ("deltas_shipped", I (Stats.get stats "deltas_shipped"));
-                ("frag_hits", I (Stats.get stats "frag_hits"));
-                ("frag_misses", I (Stats.get stats "frag_misses"));
-                ("frag_hits_post_republish", I (Stats.get stats "frag_hits_post_republish"));
-                ("frag_misses_post_republish", I (Stats.get stats "frag_misses_post_republish"));
+           (jO [
+                ("records", jI records);
+                ("clients", jI clients);
+                ("requests_per_client", jI requests);
+                ("replicas", jI replicas);
+                ("republished", jI (Histogram.count repub_hist));
+                ("wall_s", jF wall);
+                ("throughput_rps", jF (float_of_int total /. wall));
+                ("latency_us_p50", jI (Histogram.percentile hist 50));
+                ("latency_us_p90", jI (Histogram.percentile hist 90));
+                ("latency_us_p99", jI (Histogram.percentile hist 99));
+                ("latency_us_max", jI (Histogram.max_value hist));
+                ("deltas_shipped", jI (Stats.get stats "deltas_shipped"));
+                ("frag_hits", jI (Stats.get stats "frag_hits"));
+                ("frag_misses", jI (Stats.get stats "frag_misses"));
+                ("frag_hits_post_republish", jI (Stats.get stats "frag_hits_post_republish"));
+                ("frag_misses_post_republish", jI (Stats.get stats "frag_misses_post_republish"));
                 ( "post_republish_hit_rate",
-                  F
+                  jF
                     (frag_rate
                        (Stats.get stats "frag_hits_post_republish")
                        (Stats.get stats "frag_misses_post_republish")) );
-                ("verify_failures", I (!failures + !repub_failures));
-                ("per_replica", O (List.map (fun (name, n) -> (name, I n)) replica_counts));
+                ("verify_failures", jI (!failures + !repub_failures));
+                ("per_replica", jO (List.map (fun (name, n) -> (name, jI n)) replica_counts));
               ])
         ^ "\n"))
     json_path;
   if !failures + !repub_failures > 0 then exit 1
+
+(* ------------------------------ workload ----------------------------- *)
+
+(* Declarative traffic-model runner: load a [Spec.t], expand its
+   bit-reproducible trace (hot set, zipfian per-client op streams,
+   republish contents — all fixed by the spec seed), replay it against
+   the in-process rig, and gate the measured numbers on the spec's
+   declared SLOs. Exit 2 on a bad spec, 1 on an SLO violation or a
+   verification failure, 0 when the gate passes.
+
+   The JSON report keeps every wall-clock-dependent number inside the
+   "measured" object and the per-bound "actual" fields; everything else
+   (spec echo, trace digest and op counts, declared limits, the pass
+   verdict) is deterministic in the spec, which is what the CI
+   determinism guard compares across AQV_DOMAINS settings. *)
+
+let query_of_op = function
+  | Workload.Trace.Op_top_k { x; k } -> Query.top_k ~x ~k
+  | Workload.Trace.Op_range { x; l; u } -> Query.range ~x ~l ~u
+  | Workload.Trace.Op_knn { x; k; y } -> Query.knn ~x ~k ~y
+
+let run_workload spec_path replicas_override seed_override json_path =
+  setup_logging ();
+  let fail_spec e =
+    Printf.eprintf "aqv_net: %s: %s\n" spec_path (Spec.error_to_string e);
+    exit 2
+  in
+  let spec = match Spec.load spec_path with Error e -> fail_spec e | Ok s -> s in
+  let spec =
+    {
+      spec with
+      Spec.replicas = Option.value replicas_override ~default:spec.Spec.replicas;
+      seed = Option.value seed_override ~default:spec.Spec.seed;
+    }
+  in
+  let spec = match Spec.validate spec with Error e -> fail_spec e | Ok s -> s in
+  let table = Workload.table_of_spec spec in
+  let keypair = Signer.generate ~bits:512 Signer.Rsa (Prng.create 1L) in
+  let scheme =
+    match spec.Spec.scheme with
+    | Spec.One -> Ifmh.One_signature
+    | Spec.Multi -> Ifmh.Multi_signature
+  in
+  let index = Ifmh.build ~epoch:1 ~scheme table keypair in
+  let bundle = Protocol.bundle_of_index index keypair.Signer.public in
+  let ctx = Protocol.client_ctx bundle in
+  let trace = Workload.Trace.generate spec table in
+  let failures = ref 0 and failures_mu = Mutex.create () in
+  let repub_hist = Histogram.create () in
+  let repub_failures = ref 0 in
+  let hists = Array.make spec.Spec.clients (Histogram.create ()) in
+  let wall = ref 0. in
+  let engine, replica_counts =
+    with_rig ~index ~cache_capacity:256 ~max_conns:(spec.Spec.clients + 8)
+      ~replicas:spec.Spec.replicas (fun ~engine ~primary_port ~port ->
+        (* replay client [i]'s pre-generated op stream; every reply is
+           verified, every latency observed *)
+        let replay ~port i =
+          let hist = Histogram.create () in
+          Roundtrip.with_connection ~port (fun fd ->
+              Array.iter
+                (fun op ->
+                  let q = query_of_op op in
+                  let t0 = Unix.gettimeofday () in
+                  let reply = Roundtrip.ask fd (Protocol.Run_query q) in
+                  Histogram.observe hist
+                    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+                  let ok =
+                    match reply with
+                    | Protocol.Answer r -> Client.accepts ctx q r
+                    | _ -> false
+                  in
+                  if not ok then begin
+                    Mutex.lock failures_mu;
+                    incr failures;
+                    Mutex.unlock failures_mu
+                  end)
+                trace.Workload.Trace.per_client.(i));
+          hist
+        in
+        (* open-loop republisher: update [i] is due at
+           t_start + i / rate_hz regardless of how long earlier updates
+           took — the schedule never waits for the system (the paper's
+           sustained-update regime), only the contents are from the
+           trace *)
+        let repub_thread () =
+          let rate = spec.Spec.republish_rate_hz in
+          let cur = ref index in
+          let t_start = Unix.gettimeofday () in
+          Array.iteri
+            (fun i (id, attrs) ->
+              let due = t_start +. (float_of_int i /. rate) in
+              let now = Unix.gettimeofday () in
+              if due > now then Thread.delay (due -. now);
+              let changes = [ Update.Modify (Record.make ~id ~attrs ()) ] in
+              let next = Ifmh.apply ~epoch:(i + 2) keypair changes !cur in
+              send_republish ~primary_port ~repub_hist ~repub_failures
+                (Ifmh.delta ~changes next);
+              cur := next)
+            trace.Workload.Trace.republishes
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init spec.Spec.clients (fun i ->
+              Thread.create (fun () -> hists.(i) <- replay ~port i) ())
+        in
+        let republisher =
+          if spec.Spec.republishes > 0 then Some (Thread.create repub_thread ())
+          else None
+        in
+        List.iter Thread.join threads;
+        wall := Unix.gettimeofday () -. t0;
+        Option.iter Thread.join republisher;
+        (* a republisher that died early can never fake a PASS: every
+           scheduled update that was neither acked nor already counted
+           as a failure is a failure *)
+        let missing =
+          spec.Spec.republishes - Histogram.count repub_hist - !repub_failures
+        in
+        if missing > 0 then repub_failures := !repub_failures + missing;
+        (* post-republish probe: replay client 0 against the primary
+           directly (not the router), so the fragment gauges measure
+           one engine's warmed cache — untimed, outside the SLO window *)
+        if spec.Spec.republishes > 0 then ignore (replay ~port:primary_port 0);
+        engine)
+  in
+  let wall = !wall in
+  let hist = Array.fold_left Histogram.merge (Histogram.create ()) hists in
+  let total = spec.Spec.clients * spec.Spec.requests_per_client in
+  let stats = Engine.stats engine in
+  Engine.refresh_frag_stats engine;
+  let frag_rate hits misses =
+    float_of_int hits /. float_of_int (max 1 (hits + misses))
+  in
+  let post_frag =
+    if spec.Spec.republishes > 0 then
+      Some
+        (frag_rate
+           (Stats.get stats "frag_hits_post_republish")
+           (Stats.get stats "frag_misses_post_republish"))
+    else None
+  in
+  let measured =
+    {
+      Spec.throughput_rps = float_of_int total /. wall;
+      p50_us = Histogram.percentile_permille hist 500;
+      p99_us = Histogram.percentile_permille hist 990;
+      p999_us = Histogram.percentile_permille hist 999;
+      post_republish_frag_hit_rate = post_frag;
+    }
+  in
+  let violations = Spec.evaluate_slo spec.Spec.slo measured in
+  let all_failures = !failures + !repub_failures in
+  let gate_ok = violations = [] && all_failures = 0 in
+  (* one row per declared bound, violated or not, for the report *)
+  let slo_rows =
+    let row bound limit actual =
+      let ok = not (List.exists (fun v -> v.Spec.bound = bound) violations) in
+      (bound, limit, actual, ok)
+    in
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun l -> row "min_throughput_rps" l measured.Spec.throughput_rps)
+          spec.Spec.slo.Spec.min_throughput_rps;
+        Option.map
+          (fun l ->
+            row "p50_us_max" (float_of_int l) (float_of_int measured.Spec.p50_us))
+          spec.Spec.slo.Spec.p50_us_max;
+        Option.map
+          (fun l ->
+            row "p99_us_max" (float_of_int l) (float_of_int measured.Spec.p99_us))
+          spec.Spec.slo.Spec.p99_us_max;
+        Option.map
+          (fun l ->
+            row "p999_us_max" (float_of_int l) (float_of_int measured.Spec.p999_us))
+          spec.Spec.slo.Spec.p999_us_max;
+        Option.map
+          (fun l ->
+            row "min_post_republish_frag_hit_rate" l
+              (Option.value post_frag ~default:0.))
+          spec.Spec.slo.Spec.min_post_republish_frag_hit_rate;
+      ]
+  in
+  let topk, range, knn = Workload.Trace.op_counts trace in
+  Printf.printf "workload \"%s\": %d records (dims %d, %s), %d clients x %d requests, %d replica(s)\n"
+    spec.Spec.name spec.Spec.records spec.Spec.dims (Ifmh.scheme_name scheme)
+    spec.Spec.clients spec.Spec.requests_per_client spec.Spec.replicas;
+  Printf.printf "  trace       sha256=%s\n" trace.Workload.Trace.sha256_hex;
+  Printf.printf "  mix         %d topk / %d range / %d knn (zipf theta %.2f over %d hot)\n"
+    topk range knn spec.Spec.zipf_theta spec.Spec.hot_set;
+  Printf.printf "  wall        %.3f s\n" wall;
+  Printf.printf "  throughput  %.0f req/s\n" measured.Spec.throughput_rps;
+  Printf.printf "  latency us  p50=%d p99=%d p999=%d max=%d\n" measured.Spec.p50_us
+    measured.Spec.p99_us measured.Spec.p999_us (Histogram.max_value hist);
+  if spec.Spec.republishes > 0 then begin
+    Printf.printf
+      "  republish   %d acked at %.1f Hz open-loop, latency us p50=%d p99=%d\n"
+      (Histogram.count repub_hist) spec.Spec.republish_rate_hz
+      (Histogram.percentile repub_hist 50)
+      (Histogram.percentile repub_hist 99);
+    Printf.printf "  fragments   %d hits / %d misses post-republish (hit rate %.2f)\n"
+      (Stats.get stats "frag_hits_post_republish")
+      (Stats.get stats "frag_misses_post_republish")
+      (Option.value post_frag ~default:0.)
+  end;
+  if replica_counts <> [] then
+    List.iter
+      (fun (name, n) -> Printf.printf "  replica     %-20s %d request(s)\n" name n)
+      replica_counts;
+  Printf.printf "  verify      %d failure(s)\n" all_failures;
+  List.iter
+    (fun (bound, limit, actual, ok) ->
+      Printf.printf "  slo         %-34s limit %-12.6g actual %-12.6g %s\n" bound
+        limit actual
+        (if ok then "ok" else "VIOLATED"))
+    slo_rows;
+  Printf.printf "  gate        %s\n"
+    (if gate_ok then "PASS"
+     else
+       Printf.sprintf "FAIL (%d violation(s), %d verify failure(s))"
+         (List.length violations) all_failures);
+  Option.iter
+    (fun path ->
+      write_file path
+        (json_value
+           (jO
+              [
+                ("spec", Spec.to_json spec);
+                ("trace", Workload.Trace.to_json trace);
+                ( "measured",
+                  jO
+                    [
+                      ("wall_s", jF wall);
+                      ("throughput_rps", jF measured.Spec.throughput_rps);
+                      ("latency_us_p50", jI measured.Spec.p50_us);
+                      ("latency_us_p99", jI measured.Spec.p99_us);
+                      ("latency_us_p999", jI measured.Spec.p999_us);
+                      ("latency_us_max", jI (Histogram.max_value hist));
+                      ("republished", jI (Histogram.count repub_hist));
+                      ("republish_us_p50", jI (Histogram.percentile repub_hist 50));
+                      ("republish_us_p99", jI (Histogram.percentile repub_hist 99));
+                      ( "frag_hits_post_republish",
+                        jI (Stats.get stats "frag_hits_post_republish") );
+                      ( "frag_misses_post_republish",
+                        jI (Stats.get stats "frag_misses_post_republish") );
+                      ( "post_republish_frag_hit_rate",
+                        jF (Option.value post_frag ~default:0.) );
+                      ("deltas_shipped", jI (Stats.get stats "deltas_shipped"));
+                      ( "per_replica",
+                        jO (List.map (fun (n, c) -> (n, jI c)) replica_counts) );
+                      ("verify_failures", jI all_failures);
+                    ] );
+                ( "slo",
+                  Json.List
+                    (List.map
+                       (fun (bound, limit, actual, ok) ->
+                         jO
+                           [
+                             ("bound", jS bound);
+                             ("limit", jF limit);
+                             ("actual", jF actual);
+                             ("ok", jI (if ok then 1 else 0));
+                           ])
+                       slo_rows) );
+                ( "violations",
+                  Json.List (List.map (fun v -> jS v.Spec.bound) violations) );
+                ("ok", jI (if gate_ok then 1 else 0));
+              ])
+        ^ "\n"))
+    json_path;
+  if not gate_ok then exit 1
 
 (* ------------------------------ selftest ---------------------------- *)
 
@@ -891,6 +1194,14 @@ let run_selftest () =
   | Protocol.Republished 6 -> Printf.printf "  %-32s ok\n" "republish with a dead follower"
   | _ -> expect_verified "republish with a dead follower" false);
   let ctx6 = Client.with_min_epoch ctx 6 in
+  (* wait for the surviving follower to apply epoch 6 before reading
+     through the router: epoch-minimum routing only protects the client
+     once the router's polled gauges catch up, so right after the ack
+     the router may still believe every live replica is at epoch 5 and
+     legitimately route to the follower — whose correctly signed
+     epoch-5 answer the min-epoch-6 client would reject. Once the
+     follower actually serves 6, any routing choice verifies. *)
+  ignore (await_gauge portf2 "epoch" 6);
   (match Roundtrip.call ~port:portr (Protocol.Run_query q1) with
   | Protocol.Answer resp ->
     expect_verified "router fails over dead follower" (Client.accepts ctx6 q1 resp)
@@ -1098,6 +1409,40 @@ let bench_cmd =
       $ Term.app (Term.const not) no_verify_t
       $ bench_replicas_t $ bench_json_t)
 
+let spec_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "spec" ] ~docv:"FILE" ~doc:"Declarative workload spec (JSON).")
+
+let workload_replicas_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicas" ] ~docv:"N" ~doc:"Override the spec's replica count.")
+
+let workload_seed_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Override the spec's seed.")
+
+let workload_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Run a declarative workload spec against the in-process rig and \
+          gate on its declared SLOs (non-zero exit on violation).")
+    Term.(
+      const run_workload $ spec_t $ workload_replicas_t $ workload_seed_t
+      $ workload_json_t)
+
 let selftest_cmd =
   Cmd.v
     (Cmd.info "selftest"
@@ -1120,5 +1465,6 @@ let () =
             fsck_cmd;
             compact_cmd;
             bench_cmd;
+            workload_cmd;
             selftest_cmd;
           ]))

@@ -30,6 +30,82 @@ val scores_at : Table.t -> Aqv_num.Rational.t array -> (int * Aqv_num.Rational.t
     record id as tie-break: the ground truth that tests and benches
     compare against. *)
 
+(** {1 Declarative traffic models}
+
+    The production workload harness: a {!Spec.t} names a dataset, a
+    query mix, zipfian popularity over a bounded hot set of weight
+    vectors, and an open-loop republish schedule; {!Trace.generate}
+    expands it into the complete per-client operation streams. Every
+    draw flows through {!Aqv_util.Prng} streams derived from the spec
+    seed, so a seed fixes the full trace bit-for-bit — independent of
+    thread scheduling, domain count, and wall clock ([test_db] asserts
+    byte-identity across runs, and the CI gate asserts it across
+    [AQV_DOMAINS] settings). *)
+
+module Zipf : sig
+  type t
+
+  val create : n:int -> theta:float -> t
+  (** Popularity weights [1/r^theta] over ranks [1..n]; [theta = 0] is
+      uniform.
+      @raise Invalid_argument on [n < 1] or negative/non-finite
+      [theta]. *)
+
+  val size : t -> int
+
+  val sample : t -> Aqv_util.Prng.t -> int
+  (** A rank in [\[0, n)], rank 0 most popular. One [Prng.float] draw,
+      then binary search over the cumulative weights — deterministic
+      given the stream position. *)
+end
+
+val table_of_spec : Spec.t -> Table.t
+(** The spec's dataset: {!lines_1d} when [dims = 1], {!scored}
+    otherwise, seeded from the spec seed. *)
+
+module Trace : sig
+  type op =
+    | Op_top_k of { x : Aqv_num.Rational.t array; k : int }
+    | Op_range of {
+        x : Aqv_num.Rational.t array;
+        l : Aqv_num.Rational.t;
+        u : Aqv_num.Rational.t;
+      }
+    | Op_knn of {
+        x : Aqv_num.Rational.t array;
+        k : int;
+        y : Aqv_num.Rational.t;
+      }
+  (** Mirrors [Aqv.Query.t] without depending on [lib/core] (which
+      depends on this library); the CLI maps ops to queries 1:1. *)
+
+  type t = {
+    hot : Aqv_num.Rational.t array array;  (** Hot set, by rank. *)
+    hot_hits : int array;  (** Realized zipf draw counts, by rank. *)
+    per_client : op array array;  (** [per_client.(i)] is client [i]'s stream. *)
+    republishes : (int * Aqv_num.Rational.t array) array;
+        (** [(record id, new attributes)] per owner update, in order. *)
+    sha256_hex : string;  (** Digest of {!to_bytes} — the trace identity. *)
+  }
+
+  val generate : Spec.t -> Table.t -> t
+  (** Deterministic in [(spec.seed, spec)]: hot set, per-client
+      streams, and republish contents each draw from their own derived
+      Prng stream. *)
+
+  val to_bytes : t -> string
+  (** Canonical wire encoding of every op and republish — the bytes the
+      determinism tests compare and [sha256_hex] commits to. *)
+
+  val op_counts : t -> int * int * int
+  (** [(topk, range, knn)] totals across all clients. *)
+
+  val to_json : t -> Aqv_util.Json.t
+  (** Deterministic summary: digest, op counts, realized hot-set hit
+      counts. Wall-clock-free, so two runs of the same spec must emit
+      identical bytes (the CI determinism guard). *)
+end
+
 val range_for_result_size :
   Table.t -> x:Aqv_num.Rational.t array -> size:int -> Aqv_num.Rational.t * Aqv_num.Rational.t
 (** Query boundaries [(l, u)] such that the range query [l <= f(x) <= u]

@@ -37,11 +37,12 @@ let last_occupied t =
   let rec go i = if i < 0 then -1 else if t.counts.(i) > 0 then i else go (i - 1) in
   go n_bounds
 
-let percentile t p =
-  if p < 0 || p > 100 then invalid_arg "Histogram.percentile";
+let percentile_permille t p =
+  if p < 0 || p > 1000 then invalid_arg "Histogram.percentile_permille";
   if t.total = 0 then 0
   else begin
-    let rank = ((p * t.total) + 99) / 100 in
+    (* exact integer rank: ceil(p * total / 1000), clamped to >= 1 *)
+    let rank = ((p * t.total) + 999) / 1000 in
     let rank = if rank < 1 then 1 else rank in
     let last = last_occupied t in
     let rec go i acc =
@@ -53,6 +54,10 @@ let percentile t p =
     in
     go 0 0
   end
+
+let percentile t p =
+  if p < 0 || p > 100 then invalid_arg "Histogram.percentile";
+  percentile_permille t (p * 10)
 
 let buckets t =
   let acc = ref [] in
@@ -76,5 +81,6 @@ let reset t =
   t.max_value <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "n=%d max=%d p50=%d p90=%d p99=%d" t.total t.max_value
-    (percentile t 50) (percentile t 90) (percentile t 99)
+  Format.fprintf ppf "n=%d max=%d p50=%d p90=%d p99=%d p999=%d" t.total
+    t.max_value (percentile t 50) (percentile t 90) (percentile t 99)
+    (percentile_permille t 999)

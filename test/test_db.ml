@@ -182,6 +182,131 @@ let test_range_for_result_size () =
       check Alcotest.int (Printf.sprintf "size %d" size) size count)
     [ 1; 3; 10; 59; 60 ]
 
+(* ------------------------------ trace -------------------------------- *)
+
+let smoke_spec =
+  {
+    Spec.name = "t";
+    seed = 7;
+    records = 60;
+    dims = 1;
+    scheme = Spec.Multi;
+    clients = 3;
+    requests_per_client = 20;
+    hot_set = 8;
+    zipf_theta = 0.99;
+    k_max = 8;
+    mix = { Spec.topk = 0.5; range = 0.3; knn = 0.2 };
+    republishes = 4;
+    republish_rate_hz = 4.;
+    replicas = 1;
+    slo =
+      {
+        Spec.min_throughput_rps = Some 1.;
+        p50_us_max = None;
+        p99_us_max = None;
+        p999_us_max = None;
+        min_post_republish_frag_hit_rate = None;
+      };
+  }
+
+let test_trace_deterministic () =
+  (* same seed => byte-identical trace, identical digest, identical
+     JSON summary — across two independent generations *)
+  let gen () =
+    let table = Workload.table_of_spec smoke_spec in
+    Workload.Trace.generate smoke_spec table
+  in
+  let a = gen () and b = gen () in
+  check Alcotest.string "bytes" (Workload.Trace.to_bytes a) (Workload.Trace.to_bytes b);
+  check Alcotest.string "sha256" a.Workload.Trace.sha256_hex b.Workload.Trace.sha256_hex;
+  check Alcotest.string "json rows"
+    (Aqv_util.Json.to_string (Workload.Trace.to_json a))
+    (Aqv_util.Json.to_string (Workload.Trace.to_json b))
+
+let test_trace_seed_sensitivity () =
+  let t1 = Workload.Trace.generate smoke_spec (Workload.table_of_spec smoke_spec) in
+  let spec2 = { smoke_spec with Spec.seed = 8 } in
+  let t2 = Workload.Trace.generate spec2 (Workload.table_of_spec spec2) in
+  check Alcotest.bool "different seeds, different traces" true
+    (t1.Workload.Trace.sha256_hex <> t2.Workload.Trace.sha256_hex)
+
+let test_trace_shape () =
+  let t = Workload.Trace.generate smoke_spec (Workload.table_of_spec smoke_spec) in
+  check Alcotest.int "clients" 3 (Array.length t.Workload.Trace.per_client);
+  Array.iter
+    (fun ops -> check Alcotest.int "requests" 20 (Array.length ops))
+    t.Workload.Trace.per_client;
+  check Alcotest.int "republishes" 4 (Array.length t.Workload.Trace.republishes);
+  let topk, range, knn = Workload.Trace.op_counts t in
+  check Alcotest.int "total ops" 60 (topk + range + knn);
+  check Alcotest.int "hot hits account for every draw" 60
+    (Array.fold_left ( + ) 0 t.Workload.Trace.hot_hits);
+  Array.iter
+    (fun (id, attrs) ->
+      if id < 0 || id >= 60 then Alcotest.fail "republish id out of range";
+      check Alcotest.int "attrs arity" 2 (Array.length attrs))
+    t.Workload.Trace.republishes
+
+let test_zipf_golden () =
+  (* exact expected counts under a fixed seed: the sampler is part of
+     the trace identity, so a distribution change is a breaking change *)
+  let z = Workload.Zipf.create ~n:8 ~theta:0.99 in
+  let rng = Prng.create 42L in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 1000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check
+    Alcotest.(array int)
+    "golden counts"
+    [| 388; 175; 113; 90; 74; 58; 48; 54 |]
+    counts
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create ~n:16 ~theta:1.2 in
+  let rng = Prng.create 1L in
+  let counts = Array.make 16 0 in
+  for _ = 1 to 4000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check Alcotest.bool "rank 0 dominates rank 15" true (counts.(0) > 10 * counts.(15));
+  Alcotest.check_raises "n < 1" (Invalid_argument "Workload.Zipf.create") (fun () ->
+      ignore (Workload.Zipf.create ~n:0 ~theta:1.));
+  Alcotest.check_raises "bad theta" (Invalid_argument "Workload.Zipf.create: theta")
+    (fun () -> ignore (Workload.Zipf.create ~n:4 ~theta:(-1.)))
+
+(* ------------------------------- spec -------------------------------- *)
+
+let spec_json_base mix_field =
+  Printf.sprintf
+    {|{"name":"x","seed":1,"records":50,"clients":2,"requests_per_client":5,
+       "mix":%s,"slo":{"min_throughput_rps":1.0}}|}
+    mix_field
+
+let test_spec_mix_not_normalized () =
+  match Spec.of_string (spec_json_base {|{"topk":0.5,"range":0.3,"knn":0.1}|}) with
+  | Error (Spec.Mix_not_normalized s) ->
+    check (Alcotest.float 1e-9) "reported sum" 0.9 s
+  | Ok _ -> Alcotest.fail "non-normalized mix accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Spec.error_to_string e)
+
+let test_spec_unknown_query_type () =
+  match Spec.of_string (spec_json_base {|{"topk":0.5,"range":0.3,"join":0.2}|}) with
+  | Error (Spec.Unknown_query_type "join") -> ()
+  | Ok _ -> Alcotest.fail "unknown query type accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Spec.error_to_string e)
+
+let test_spec_valid_parses () =
+  match Spec.of_string (spec_json_base {|{"topk":0.5,"range":0.3,"knn":0.2}|}) with
+  | Ok s ->
+    check (Alcotest.float 1e-12) "topk" 0.5 s.Spec.mix.Spec.topk;
+    check Alcotest.int "default hot_set" 16 s.Spec.hot_set;
+    check Alcotest.int "default replicas" 1 s.Spec.replicas
+  | Error e -> Alcotest.failf "valid spec rejected: %s" (Spec.error_to_string e)
+
 let () =
   Alcotest.run "aqv_db"
     [
@@ -213,5 +338,19 @@ let () =
           Alcotest.test_case "weight point in domain" `Quick test_weight_point_in_domain;
           Alcotest.test_case "scores sorted" `Quick test_scores_sorted;
           Alcotest.test_case "range for result size" `Quick test_range_for_result_size;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick test_trace_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_trace_seed_sensitivity;
+          Alcotest.test_case "shape" `Quick test_trace_shape;
+          Alcotest.test_case "zipf golden counts" `Quick test_zipf_golden;
+          Alcotest.test_case "zipf skew + invalid args" `Quick test_zipf_skew;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "mix not normalized" `Quick test_spec_mix_not_normalized;
+          Alcotest.test_case "unknown query type" `Quick test_spec_unknown_query_type;
+          Alcotest.test_case "valid spec parses" `Quick test_spec_valid_parses;
         ] );
     ]

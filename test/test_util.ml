@@ -202,6 +202,81 @@ let pvec_model =
         updates;
       Pvec.to_array !v = model)
 
+(* ----------------------------- Histogram ---------------------------- *)
+
+let hist_of_list xs =
+  let t = Histogram.create () in
+  List.iter (Histogram.observe t) xs;
+  t
+
+(* the full observable state: bucket contents plus every scalar gauge —
+   "equal" below means indistinguishable through the public API *)
+let hobs t =
+  (Histogram.buckets t, Histogram.count t, Histogram.sum t, Histogram.max_value t)
+
+let hist_gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range 0 2_000_000))
+
+let hist_merge_commutative =
+  qtest ~count:300 "merge commutative" QCheck.(pair hist_gen hist_gen)
+    (fun (a, b) ->
+      hobs (Histogram.merge (hist_of_list a) (hist_of_list b))
+      = hobs (Histogram.merge (hist_of_list b) (hist_of_list a)))
+
+let hist_merge_associative =
+  qtest ~count:300 "merge associative" QCheck.(triple hist_gen hist_gen hist_gen)
+    (fun (a, b, c) ->
+      let ha = hist_of_list a and hb = hist_of_list b and hc = hist_of_list c in
+      hobs (Histogram.merge (Histogram.merge ha hb) hc)
+      = hobs (Histogram.merge ha (Histogram.merge hb hc)))
+
+let hist_merge_identity =
+  qtest ~count:300 "merge with empty is identity" hist_gen (fun xs ->
+      let h = hist_of_list xs in
+      hobs (Histogram.merge h (Histogram.create ())) = hobs h
+      && hobs (Histogram.merge (Histogram.create ()) h) = hobs h)
+
+let hist_merge_count =
+  qtest ~count:300 "merge preserves count and sum" QCheck.(pair hist_gen hist_gen)
+    (fun (a, b) ->
+      let m = Histogram.merge (hist_of_list a) (hist_of_list b) in
+      Histogram.count m = List.length a + List.length b
+      && Histogram.sum m = List.fold_left ( + ) 0 a + List.fold_left ( + ) 0 b)
+
+let hist_percentile_monotone =
+  qtest ~count:300 "percentile monotone in p"
+    QCheck.(triple hist_gen (int_range 0 1000) (int_range 0 1000))
+    (fun (xs, p, q) ->
+      let h = hist_of_list xs in
+      let p, q = (min p q, max p q) in
+      Histogram.percentile_permille h p <= Histogram.percentile_permille h q)
+
+let hist_percentile_bounded =
+  qtest ~count:300 "percentile within [min obs, max obs] bucket bounds"
+    QCheck.(pair (list_of_size Gen.(int_range 1 200) (int_range 0 2_000_000)) (int_range 0 1000))
+    (fun (xs, p) ->
+      let h = hist_of_list xs in
+      let v = Histogram.percentile_permille h p in
+      (* a bucket upper bound is never below the smallest observation,
+         and the last occupied bucket reports the exact max *)
+      v >= List.fold_left min max_int xs && v <= Histogram.max_value h)
+
+let test_hist_permille_exact () =
+  let t = Histogram.create () in
+  for _ = 1 to 999 do
+    Histogram.observe t 1
+  done;
+  Histogram.observe t 1_000_000;
+  (* rank ceil(999 * 1000 / 1000) = 999 lands on the 999 ones; only
+     p = 1000 reaches the outlier *)
+  check Alcotest.int "p50" 1 (Histogram.percentile_permille t 500);
+  check Alcotest.int "p999" 1 (Histogram.percentile_permille t 999);
+  check Alcotest.int "p1000 = exact max" 1_000_000 (Histogram.percentile_permille t 1000);
+  check Alcotest.int "percent delegates" (Histogram.percentile_permille t 990)
+    (Histogram.percentile t 99);
+  check Alcotest.int "empty" 0 (Histogram.percentile_permille (Histogram.create ()) 999);
+  Alcotest.check_raises "p > 1000" (Invalid_argument "Histogram.percentile_permille")
+    (fun () -> ignore (Histogram.percentile_permille t 1001))
+
 (* ----------------------------- Metrics ----------------------------- *)
 
 let test_metrics_counts () =
@@ -276,6 +351,16 @@ let () =
           Alcotest.test_case "swap adjacent" `Quick test_pvec_swap;
           Alcotest.test_case "bounds" `Quick test_pvec_bounds;
           pvec_model;
+        ] );
+      ( "histogram",
+        [
+          hist_merge_commutative;
+          hist_merge_associative;
+          hist_merge_identity;
+          hist_merge_count;
+          hist_percentile_monotone;
+          hist_percentile_bounded;
+          Alcotest.test_case "permille exact ranks" `Quick test_hist_permille_exact;
         ] );
       ( "metrics",
         [
