@@ -1016,6 +1016,78 @@ let abl_serve_frag () =
              "abl-serve-frag: %s post-republish fragment hit rate is zero" name))
     [ ("one-sig", Ifmh.One_signature); ("multi-sig", Ifmh.Multi_signature) ]
 
+(* Streaming construction at scale, with CI-guarded deterministic
+   counters: the pair front-end must classify every one of the
+   n(n-1)/2 pairs exactly once, must never hold more than
+   crossings + one chunk of pair records live (the pre-streaming
+   front-end materialized the full quadratic pair set), and chunk
+   count must match ceil(classified / chunk). Two workload shapes
+   bound the story: the default dense lines (crossings are a constant
+   ~1/3 of the pair space, so the Merkle back-end dominates the wall)
+   and a sparse variant with intercepts spread over 10^6 (crossings
+   ~0.1% of pairs, so the front-end dominates — this is where the
+   Θ(n²) construction lost its wall time; BENCH_PR10.json records the
+   before/after at the sweep top). Counters are deterministic, so the
+   guards are immune to runner noise; wall seconds go to JSON only. *)
+let abl_build_scale () =
+  header "Ablation — streaming construction: pairs materialized vs crossings";
+  row "(chunk = %d; peak is the high-water mark of live pair records)\n"
+    Crossings.default_chunk;
+  row "%-7s %7s | %8s | %11s %10s %10s %7s | %9s\n" "shape" "n" "wall s" "classified"
+    "crossings" "peak" "chunks" "hash_ops";
+  let run shape mk n =
+    let table = mk n in
+    Metrics.reset ();
+    let idx, wall =
+      time (fun () -> Ifmh.build ~scheme:Ifmh.Multi_signature table dry_signer)
+    in
+    ignore (Sys.opaque_identity idx);
+    let s = Metrics.snapshot () in
+    let classified = s.Metrics.build_pairs_classified in
+    let crossings = s.Metrics.build_crossings in
+    let peak = s.Metrics.build_peak_pairs in
+    let chunks = s.Metrics.build_pair_chunks in
+    row "%-7s %7d | %8.3f | %11d %10d %10d %7d | %9d\n%!" shape n wall classified
+      crossings peak chunks s.Metrics.hash_ops;
+    json_add
+      [
+        ("figure", J_str "abl-build-scale");
+        ("shape", J_str shape);
+        ("n", J_int n);
+        ("wall_s", J_num wall);
+        ("pairs_classified", J_int classified);
+        ("crossings", J_int crossings);
+        ("peak_pairs", J_int peak);
+        ("chunks", J_int chunks);
+        ("chunk", J_int Crossings.default_chunk);
+        ("hash_ops", J_int s.Metrics.hash_ops);
+      ];
+    let expect = n * (n - 1) / 2 in
+    if classified <> expect then
+      failwith
+        (Printf.sprintf "abl-build-scale: %s n=%d classified %d pairs, expected %d"
+           shape n classified expect);
+    if peak > crossings + Crossings.default_chunk then
+      failwith
+        (Printf.sprintf
+           "abl-build-scale: %s n=%d peak %d pair records exceeds crossings %d + chunk %d"
+           shape n peak crossings Crossings.default_chunk);
+    let expect_chunks =
+      if expect = 0 then 0 else (expect + Crossings.default_chunk - 1) / Crossings.default_chunk
+    in
+    if chunks <> expect_chunks then
+      failwith
+        (Printf.sprintf "abl-build-scale: %s n=%d ran %d chunks, expected %d" shape n
+           chunks expect_chunks)
+  in
+  (* dense rows share [table_of]'s cache with the other figures *)
+  List.iter (fun n -> run "dense" table_of (scaled n)) [ 250; 500; 1000 ];
+  let sparse n =
+    Workload.lines_1d ~intercept_range:1_000_000 ~n
+      (Prng.create (Int64.add master_seed (Int64.of_int (7_000_000 + n))))
+  in
+  List.iter (fun n -> run "sparse" sparse (scaled n)) [ 1000; 2000; 4000 ]
+
 (* ------------------------- bechamel micros -------------------------- *)
 
 let micro_tests () =
@@ -1117,6 +1189,7 @@ let figures =
     ("abl-update", abl_update);
     ("abl-recovery", abl_recovery);
     ("abl-serve-frag", abl_serve_frag);
+    ("abl-build-scale", abl_build_scale);
     ("ext-2d", ext_2d);
   ]
 

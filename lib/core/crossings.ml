@@ -1,0 +1,174 @@
+module Q = Aqv_num.Rational
+module Region = Aqv_num.Region
+module Domain = Aqv_num.Domain
+module Linfun = Aqv_num.Linfun
+module Metrics = Aqv_util.Metrics
+module Pool = Aqv_par.Pool
+
+type pair = { i : int; j : int; geom : Memo.pair_geom }
+
+type t = {
+  pairs : pair array;
+  total : int;
+  chunk : int;
+  chunks : int;
+  peak_live : int;
+}
+
+let count t = Array.length t.pairs
+let default_chunk = 32768
+
+(* Flat pair index k in [0, n(n-1)/2) maps to the k-th (i, j), i < j, in
+   lexicographic order. The enumerator never inverts the triangular
+   formula: it keeps a running (i, j) cursor and advances it chunk by
+   chunk, so only one chunk of indices is ever live. *)
+
+let is_crossing (g : Memo.pair_geom) =
+  match g.Memo.box with Some Region.Split -> true | _ -> false
+
+let enumerate ?(chunk = default_chunk) ?memo ?pool dom fns =
+  if chunk < 1 then invalid_arg "Crossings.enumerate: chunk must be >= 1";
+  let n = Array.length fns in
+  let total = n * (n - 1) / 2 in
+  let box = Region.of_domain dom in
+  let dim = Domain.dim dom in
+  (* [probe i j] is [Some pair] iff the pair's hyperplane properly
+     crosses the box interior. In 1-D the test needs neither a division
+     nor the difference function: [f_i - f_j] has a root strictly
+     inside (lo, hi) iff it takes strictly opposite signs at the two
+     endpoints (a root on a facet gives a zero sign, hence no crossing)
+     — exactly [Region.classify]'s strict-interior test, which
+     [enumerate_scan] still runs verbatim as the reference. The full
+     geometry record — difference and root — is built for crossing
+     pairs only; the non-crossing majority costs four exact
+     multiplications/additions and allocates nothing that outlives the
+     probe. *)
+  let fresh =
+    if dim = 1 then begin
+      let lo = Domain.lo dom 0 and hi = Domain.hi dom 0 in
+      fun i j ->
+        let fa = fns.(i) and fb = fns.(j) in
+        let a = Q.sub (Linfun.coeff fa 0) (Linfun.coeff fb 0) in
+        if Q.sign a = 0 then None
+        else begin
+          let b = Q.sub (Linfun.const fa) (Linfun.const fb) in
+          let slo = Q.sign (Q.add (Q.mul a lo) b) in
+          let shi = Q.sign (Q.add (Q.mul a hi) b) in
+          if slo * shi >= 0 then None
+          else
+            Some
+              {
+                i;
+                j;
+                geom =
+                  {
+                    (* same expressions [Memo.compute] evaluates, so the
+                       retained geometry is bit-identical to the scan's *)
+                    Memo.diff = Linfun.sub fa fb;
+                    zero = false;
+                    box = Some Region.Split;
+                    root1 = Some (Q.div (Q.neg b) a);
+                  };
+              }
+        end
+    end
+    else fun i j ->
+      let g = Memo.compute ~box ~dim fns.(i) fns.(j) in
+      if is_crossing g then Some { i; j; geom = g } else None
+  in
+  let probe =
+    match memo with
+    | None -> fresh
+    | Some u -> (
+      fun i j ->
+        match Memo.find_geom u ~i ~j with
+        | Some g -> if is_crossing g then Some { i; j; geom = g } else None
+        | None -> fresh i j)
+  in
+  (* cursor into the lexicographic pair sequence *)
+  let ci = ref 0 and cj = ref 1 in
+  let advance () =
+    incr cj;
+    if !cj >= n then begin
+      incr ci;
+      cj := !ci + 1
+    end
+  in
+  let is = Array.make (min chunk (max total 1)) 0 in
+  let js = Array.make (Array.length is) 0 in
+  let kept_rev = ref [] in
+  let retained = ref 0 in
+  let peak = ref 0 in
+  let chunks = ref 0 in
+  let remaining = ref total in
+  while !remaining > 0 do
+    let len = min chunk !remaining in
+    for k = 0 to len - 1 do
+      is.(k) <- !ci;
+      js.(k) <- !cj;
+      advance ()
+    done;
+    (* classification is a pure function of (f_i, f_j, box) — and the
+       memo consultation is read-only — so the chunk fans out over the
+       pool bit-identically to a sequential pass; results land in flat
+       index order either way *)
+    let probed =
+      match pool with
+      | Some p when Pool.size p > 1 -> Pool.parallel_init p len (fun k -> probe is.(k) js.(k))
+      | _ -> Array.init len (fun k -> probe is.(k) js.(k))
+    in
+    (* sequential post-pass: retain crossings, register them for the
+       next rebuild. Registration stays off the pool by design. *)
+    let kept = ref [] in
+    for k = len - 1 downto 0 do
+      match probed.(k) with Some p -> kept := p :: !kept | None -> ()
+    done;
+    (match memo with
+    | Some u -> List.iter (fun p -> Memo.register_geom u ~i:p.i ~j:p.j p.geom) !kept
+    | None -> ());
+    let kept = Array.of_list !kept in
+    kept_rev := kept :: !kept_rev;
+    retained := !retained + Array.length kept;
+    (* live pair records while this chunk was in flight: the chunk
+       itself plus everything retained so far *)
+    if !retained + len > !peak then peak := !retained + len;
+    incr chunks;
+    remaining := !remaining - len
+  done;
+  let pairs = Array.concat (List.rev !kept_rev) in
+  Metrics.add_build_pairs_classified total;
+  Metrics.add_build_pair_chunks !chunks;
+  Metrics.add_build_crossings (Array.length pairs);
+  Metrics.note_build_peak_pairs !peak;
+  { pairs; total; chunk; chunks = !chunks; peak_live = !peak }
+
+(* Retained reference: the pre-streaming full enumeration — one
+   sequential pass over every (i, j) with no chunking and no pool. The
+   identity qcheck in test/test_build.ml holds the streaming enumerator
+   to this, the way Mesh.locate_cell_scan anchors the binary search.
+   Ticks no build counters (it is the yardstick, not the product); with
+   [memo] it consults and registers exactly like the streaming path. *)
+let enumerate_scan ?memo dom fns =
+  let n = Array.length fns in
+  let total = n * (n - 1) / 2 in
+  let box = Region.of_domain dom in
+  let dim = Domain.dim dom in
+  let kept = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let g =
+        match memo with
+        | None -> Memo.compute ~box ~dim fns.(i) fns.(j)
+        | Some u -> (
+          match Memo.find_geom u ~i ~j with
+          | Some g -> g
+          | None -> Memo.compute ~box ~dim fns.(i) fns.(j))
+      in
+      if is_crossing g then begin
+        (match memo with Some u -> Memo.register_geom u ~i ~j g | None -> ());
+        kept := { i; j; geom = g } :: !kept
+      end
+    done
+  done;
+  let pairs = Array.of_list (List.rev !kept) in
+  { pairs; total; chunk = max total 1; chunks = (if total = 0 then 0 else 1); peak_live = total }

@@ -1,0 +1,75 @@
+(** Streaming, pool-parallel crossing enumeration — the owner-side
+    pair front-end.
+
+    Every structure build must decide, for each of the n(n-1)/2
+    function pairs, whether the pair's hyperplane [f_i - f_j = 0]
+    properly crosses the domain box: crossing pairs drive the I-tree
+    insertion and (in 1-D) the sweep's boundary events; non-crossing
+    pairs are no-ops everywhere. The enumerator streams the flat pair
+    index space in bounded chunks — the quadratic index set is never
+    materialized — classifying each chunk against the box as pure
+    {!Aqv_par.Pool} tasks and retaining only the crossing pairs, so
+    peak memory is O(#crossings + chunk) instead of Θ(n²).
+
+    {b Determinism:} the retained list is in canonical lexicographic
+    (i, j) order — a pure function of (functions, domain), independent
+    of chunk size and pool size (pool results land in flat-index
+    order; memo consultation is read-only; per-pair {!Aqv_util.Metrics}
+    ticks are count-exact). {!Itree.build} derives its seeded insertion
+    order by shuffling {e this} list: non-crossing pairs never touch
+    the tree, so the shape depends only on the crossing pairs' relative
+    order, and the shuffle's draw count is a pure function of the
+    crossing count. Every build path ({!Ifmh.build}, [apply],
+    [apply_delta], [load], recovery, replication) enumerates through
+    here, so apply == rebuild, parallel == sequential, cached == cold
+    and recovery == hot-swap all still hold.
+
+    With [memo], carried-over geometry is consulted per pair
+    (read-only, pool-safe) and {e crossing pairs only} are registered
+    for the next rebuild — retaining the non-crossing majority would
+    reinstate the Θ(n²) footprint the enumerator exists to kill. *)
+
+type pair = {
+  i : int;
+  j : int;  (** positions in the function array, [i < j] *)
+  geom : Memo.pair_geom;  (** [geom.box = Some Split] by construction *)
+}
+
+type t = {
+  pairs : pair array;  (** crossing pairs, lexicographic by [(i, j)] *)
+  total : int;  (** pairs classified: n(n-1)/2 *)
+  chunk : int;  (** chunk bound used *)
+  chunks : int;  (** chunks processed: ceil(total / chunk) *)
+  peak_live : int;
+      (** high-water mark of live pair records:
+          max over chunks of (retained so far + chunk length),
+          hence <= crossings + chunk *)
+}
+
+val count : t -> int
+(** Number of crossing pairs retained. *)
+
+val default_chunk : int
+(** 32768: small enough to bound memory, large enough to amortize a
+    pool fan-out per chunk. *)
+
+val enumerate :
+  ?chunk:int ->
+  ?memo:Memo.use ->
+  ?pool:Aqv_par.Pool.pool ->
+  Aqv_num.Domain.t ->
+  Aqv_num.Linfun.t array ->
+  t
+(** Stream-classify all pairs. Without [pool] (or with a 1-executor
+    pool) each chunk is classified in-caller; results are bit-identical
+    either way. Ticks [build_pairs_classified] / [build_pair_chunks] /
+    [build_crossings] and raises the [build_peak_pairs] high-water mark
+    in {!Aqv_util.Metrics} — all deterministic, so tests and CI guards
+    assert them exactly.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val enumerate_scan : ?memo:Memo.use -> Aqv_num.Domain.t -> Aqv_num.Linfun.t array -> t
+(** Retained sequential full-enumeration reference (the pre-streaming
+    front-end): one unchunked pass, no pool, [peak_live = total]. The
+    enumeration-identity qcheck holds {!enumerate} to this. Ticks no
+    build counters. *)

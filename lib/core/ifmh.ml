@@ -147,10 +147,12 @@ let default_seed = 0x17EEL
    valid when both records are unchanged, per-subdomain FMH-trees when
    the sorted id sequence recurs (differing digests are patched). The
    structure itself (I-tree shape, sorted lists) is still derived from
-   scratch — the seeded insertion shuffle ranges over the full pair
-   set, so any splice-based shortcut would diverge from a fresh [build]
-   of the same table, and bit-identity with the fresh build is the
-   invariant that makes increments (and crash recovery) safe to serve.
+   scratch — the seeded insertion shuffle ranges over the crossing pair
+   list the streaming enumerator just produced (a pure function of the
+   table and domain; see [Crossings]), so any splice-based shortcut
+   would diverge from a fresh [build] of the same table, and
+   bit-identity with the fresh build is the invariant that makes
+   increments (and crash recovery) safe to serve.
    Everything consulted under the pool is read-only — pool tasks stay
    pure. *)
 let build_structure ~seed ?fmh_storage ?prev ~pool table =
@@ -180,11 +182,21 @@ let build_structure ~seed ?fmh_storage ?prev ~pool table =
             | None -> assert false
           else Record.digest records.(i) )
   in
-  let itree = Itree.build ~seed ~memo:use (Table.domain table) (Table.functions table) in
+  (* one streaming pass over the pair space feeds both consumers: the
+     I-tree insertion (shuffled crossing list) and the 1-D sweep
+     (crossing roots are its boundary events). Chunks classify over the
+     pool; only crossing pairs are retained or registered — peak pair
+     memory is O(#crossings + chunk), never Θ(n²). *)
+  let crossings =
+    Crossings.enumerate ~memo:use ~pool (Table.domain table) (Table.functions table)
+  in
+  let itree = Itree.build ~seed ~crossings (Table.domain table) (Table.functions table) in
   (* digest once, in parallel, and thread the array into the sorting
      build (which used to re-hash every record) *)
   let rdig = Aqv_par.Pool.parallel_init pool n digest_at in
-  let sorting = Sorting.build ?storage:fmh_storage ~pool ~rdig ~memo:use table itree in
+  let sorting =
+    Sorting.build ?storage:fmh_storage ~pool ~rdig ~memo:use ~crossings table itree
+  in
   (itree, sorting, rdig, memo)
 
 (* The assembled index keeps each signing digest next to its signature:

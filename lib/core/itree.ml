@@ -62,6 +62,55 @@ let insert ?root_cls t i j diff =
   go ~known:root_cls t.root;
   if !split_any then t.intersections <- t.intersections + 1
 
+(* 1-D fast insertion. The generic [insert] classifies the pair's
+   difference against every visited node's region; on intervals that
+   re-derives the pair's root — an exact division — at each node. But
+   the 1-D descent only ever asks "is our root left or right of an
+   earlier split's root", so a shadow of the tree caching those roots
+   answers every step with one comparison. [left]/[right] are interval
+   order; which of them is the real node's [above] child depends on the
+   slope sign. Reaching a real leaf means the root is strictly inside
+   its interval (every comparison on the way down was strict) — exactly
+   [Region.classify]'s Split on that leaf — so split it as [insert]
+   would, building the identical regions and constraint lists. A root
+   equal to an earlier split's stops the descent: the generic walk
+   classifies both children Pos/Neg there and splits nothing. *)
+type shadow = SLeaf of node | SNode of { r : Q.t; left : shadow ref; right : shadow ref }
+
+let insert_1d t shadow i j (geom : Memo.pair_geom) =
+  let diff = geom.Memo.diff in
+  let r =
+    match geom.Memo.root1 with Some r -> r | None -> invalid_arg "Itree.insert_1d: no root"
+  in
+  let rec go s =
+    match !s with
+    | SNode { r = rn; left; right } ->
+      let c = Q.compare r rn in
+      if c < 0 then go left else if c > 0 then go right
+    | SLeaf node ->
+      let lf = match node.kind with Leaf lf -> lf | Inode _ -> assert false in
+      let region_a =
+        match Region.add node.region (Halfspace.above diff) with
+        | Some rg -> rg
+        | None -> assert false (* the root is strictly inside *)
+      in
+      let region_b =
+        match Region.add node.region (Halfspace.below diff) with
+        | Some rg -> rg
+        | None -> assert false
+      in
+      let above = fresh_leaf region_a ((i, j, Halfspace.Above) :: lf.cons) in
+      let below = fresh_leaf region_b ((i, j, Halfspace.Below) :: lf.cons) in
+      node.kind <- Inode { i; j; diff; above; below };
+      t.nodes <- t.nodes + 2;
+      t.intersections <- t.intersections + 1;
+      let sa = ref (SLeaf above) and sb = ref (SLeaf below) in
+      (* above covers the right side of the root iff the slope is positive *)
+      let left, right = if Q.sign (Linfun.coeff diff 0) > 0 then (sb, sa) else (sa, sb) in
+      s := SNode { r; left; right }
+  in
+  go shadow
+
 let collect_leaves root =
   let acc = ref [] in
   let rec go node =
@@ -74,54 +123,60 @@ let collect_leaves root =
   go root;
   !acc
 
-let build ?(seed = 0x17EEL) ?(order = `Shuffled) ?memo dom fns =
-  let n = Array.length fns in
+let build ?(seed = 0x17EEL) ?(order = `Shuffled) ?memo ?crossings dom fns =
   let root = fresh_leaf (Region.of_domain dom) [] in
   let t = { root; functions = fns; domain = dom; leaf_nodes = [||]; intersections = 0; nodes = 1 } in
-  (* all pairs i < j, inserted in a seeded random order: a random order
-     keeps the expected tree depth logarithmic in the number of
-     subdomains, like a randomly built BST *)
-  let pairs = Array.make (n * (n - 1) / 2) (0, 0) in
-  let k = ref 0 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      pairs.(!k) <- (i, j);
-      incr k
-    done
-  done;
+  (* the streaming enumerator has already reduced the Θ(n²) pair space
+     to the crossing pairs — the only pairs whose insertion does
+     anything. Callers that enumerated up front (Ifmh.build_structure
+     shares one pass with the 1-D sweep) hand the result in; otherwise
+     enumerate here, sequentially, registering into [memo] if given. *)
+  let cr =
+    match crossings with Some c -> c | None -> Crossings.enumerate ?memo dom fns
+  in
+  (* inserted in a seeded random order: a random order keeps the
+     expected tree depth logarithmic in the number of subdomains, like
+     a randomly built BST. Shuffling the crossing list (not the full
+     pair set) is sound: non-crossing pairs are no-ops on the tree, so
+     the shape depends only on the crossing pairs' relative order — and
+     deterministic: the list arrives in canonical lexicographic order
+     and the shuffle's draws depend only on its length, both pure
+     functions of (functions, domain). *)
+  let pairs = Array.copy cr.Crossings.pairs in
   (match order with
   | `Shuffled -> Aqv_util.Prng.shuffle (Aqv_util.Prng.create seed) pairs
   | `Lexicographic -> ());
-  (* per-pair geometry via the rebuild cache: a carried-over entry is a
-     pure function of the two (unchanged) records and the domain, so
-     reuse cannot perturb the insertion's outcome. A pair whose
-     hyperplane misses the domain box skips the walk entirely — that is
-     exactly what the walk's root classification would conclude. *)
-  let geom =
-    match memo with
-    | Some u -> fun i j -> Memo.geom u ~i ~j fns.(i) fns.(j)
-    | None ->
-      let throwaway = Memo.use ~ids:(Array.init n Fun.id) (Memo.create dom) in
-      fun i j -> Memo.geom throwaway ~i ~j fns.(i) fns.(j)
-  in
-  Array.iter
-    (fun (i, j) ->
-      let g = geom i j in
-      match g.Memo.box with
-      | None -> () (* identical functions: no hyperplane *)
-      | Some (Region.Pos | Region.Neg) -> () (* never crosses the box *)
-      | Some Region.Split -> insert ~root_cls:Region.Split t i j g.Memo.diff)
-    pairs;
+  if Aqv_num.Domain.dim dom = 1 then begin
+    let shadow = ref (SLeaf root) in
+    Array.iter
+      (fun (p : Crossings.pair) -> insert_1d t shadow p.Crossings.i p.Crossings.j p.Crossings.geom)
+      pairs
+  end
+  else
+    Array.iter
+      (fun (p : Crossings.pair) ->
+        (* box = Some Split by construction — exactly what the walk's
+           root classification would compute, its region being the box *)
+        insert ~root_cls:Region.Split t p.Crossings.i p.Crossings.j p.Crossings.geom.Memo.diff)
+      pairs;
   let leaf_nodes = Array.of_list (collect_leaves root) in
   (* in 1-D, order leaves left to right so leaf ids align with the
      sweep's subdomain indices *)
-  if Aqv_num.Domain.dim dom = 1 then
-    Array.sort
-      (fun a b ->
-        match (Region.interval_bounds a.region, Region.interval_bounds b.region) with
-        | Some (la, _), Some (lb, _) -> Q.compare la lb
-        | _ -> assert false)
-      leaf_nodes;
+  if Aqv_num.Domain.dim dom = 1 then begin
+    (* decorate-sort-undecorate: the comparator runs Θ(m log m) times,
+       so extract each leaf's lower bound once instead of paying the
+       [interval_bounds] match (and its allocation) per comparison *)
+    let keyed =
+      Array.map
+        (fun nd ->
+          match Region.interval_bounds nd.region with
+          | Some (lo, _) -> (lo, nd)
+          | None -> assert false)
+        leaf_nodes
+    in
+    Array.sort (fun (la, _) (lb, _) -> Q.compare la lb) keyed;
+    Array.iteri (fun idx (_, nd) -> leaf_nodes.(idx) <- nd) keyed
+  end;
   Array.iteri
     (fun idx node -> match node.kind with Leaf lf -> lf.id <- idx | Inode _ -> assert false)
     leaf_nodes;

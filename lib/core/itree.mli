@@ -39,23 +39,26 @@ val build :
   ?seed:int64 ->
   ?order:[ `Shuffled | `Lexicographic ] ->
   ?memo:Memo.use ->
+  ?crossings:Crossings.t ->
   Aqv_num.Domain.t ->
   Aqv_num.Linfun.t array ->
   t
-(** Insert all intersecting pairs — by default in a seeded random order
+(** Insert all crossing pairs — by default in a seeded random order
     (the insertion order does not change the leaf decomposition, only
     the tree's internal shape/depth; [`Lexicographic] exists for the
-    depth ablation). Identical functions (zero difference) induce no
-    split. In dimension 1, leaf ids number the subdomain intervals left
-    to right.
+    depth ablation). The order is the seeded shuffle of the {e crossing
+    pair list} (see {!Crossings} for the determinism argument) — never
+    of the full Θ(n²) pair set, which is streamed, not materialized.
+    Identical functions (zero difference) induce no split. In dimension
+    1, leaf ids number the subdomain intervals left to right.
 
-    [memo] supplies the {!Memo} rebuild cache: per-pair differences and
-    box classifications are looked up before being recomputed, and
-    every result is recorded for the next rebuild. Reused entries are
-    pure functions of unchanged inputs, so the built tree is
-    bit-identical with or without the cache. Omitted, a private
-    throwaway memo is used (the 1-D sweep in {!Sorting} still cannot
-    share it). *)
+    [crossings] hands in a pre-enumerated crossing set so one streaming
+    pass feeds both this insertion and the 1-D sweep
+    ({!Ifmh.build_structure} does); [memo] is ignored in that case (the
+    enumerator already consulted and registered it). Without
+    [crossings], enumeration happens here — sequentially, through
+    [memo] if given, with no retained registration otherwise. Either
+    way the built tree is bit-identical. *)
 
 val root : t -> node
 val functions : t -> Aqv_num.Linfun.t array

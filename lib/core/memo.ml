@@ -45,7 +45,7 @@ let use ?prev ?(changed = fun _ -> true) ~ids cur =
 
 (* ---------------------------- pair geometry ------------------------- *)
 
-let compute_geom box dim fa fb =
+let compute ~box ~dim fa fb =
   let diff = Linfun.sub fa fb in
   let zero = Linfun.is_zero diff in
   let box_cls = if zero then None else Some (Region.classify box diff) in
@@ -57,29 +57,26 @@ let compute_geom box dim fa fb =
   in
   { diff; zero; box = box_cls; root1 }
 
-let geom u ~i ~j fa fb =
-  let key = (u.ids.(i), u.ids.(j)) in
-  match Hashtbl.find_opt u.cur.pairs key with
-  | Some g -> g (* shared within this build: I-tree insertion feeds the 1-D sweep *)
-  | None ->
-    let carried =
-      if u.changed i || u.changed j then None
-      else
-        match u.prev with
-        | None -> None
-        | Some p -> Hashtbl.find_opt p.pairs key
-    in
-    let g =
-      match carried with
-      | Some g ->
-        Metrics.add_memo_pair_hit ();
-        g
-      | None ->
-        Metrics.add_memo_pair_miss ();
-        compute_geom u.cur.box (Domain.dim u.cur.domain) fa fb
-    in
-    Hashtbl.replace u.cur.pairs key g;
-    g
+(* Read-only carry-over lookup: the previous build's result is valid
+   exactly when both records are unchanged. The streaming enumerator
+   visits each pair once per build, so there is no within-build [cur]
+   consultation — [cur] only collects what [register_geom] retains for
+   the next rebuild. Ticks hit/miss so per-pair totals stay exactly one
+   tick, independent of chunking and pool size. *)
+let find_geom u ~i ~j =
+  let carried =
+    if u.changed i || u.changed j then None
+    else
+      match u.prev with
+      | None -> None
+      | Some p -> Hashtbl.find_opt p.pairs (u.ids.(i), u.ids.(j))
+  in
+  (match carried with
+  | Some _ -> Metrics.add_memo_pair_hit ()
+  | None -> Metrics.add_memo_pair_miss ());
+  carried
+
+let register_geom u ~i ~j g = Hashtbl.replace u.cur.pairs (u.ids.(i), u.ids.(j)) g
 
 (* -------------------------- FMH snapshots --------------------------- *)
 

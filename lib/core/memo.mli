@@ -7,9 +7,12 @@
     the hyperplane's position relative to the domain box, the 1-D
     crossing point) and the per-subdomain FMH-trees. A [Memo.t] carries
     those results from one index version to the next so a rebuild that
-    touches [g] of [n] records skips re-deriving the ~[(n-g)²]
-    untouched pair geometries and re-hashing every subdomain whose
-    sorted membership did not change.
+    touches [g] of [n] records skips re-deriving the geometry of every
+    untouched {e crossing} pair and re-hashing every subdomain whose
+    sorted membership did not change. Only crossing pairs are retained
+    (see {!Crossings}): non-crossing geometry is a few exact-rational
+    operations to recompute, and retaining it would keep the memo's
+    footprint Θ(n²).
 
     {b Invariant (load-bearing):} a memo holds only results of pure
     functions, keyed by their full input content — never tree
@@ -72,12 +75,25 @@ type pair_geom = {
           difference is constant or the domain is not 1-D *)
 }
 
-val geom : use -> i:int -> j:int -> Aqv_num.Linfun.t -> Aqv_num.Linfun.t -> pair_geom
-(** Geometry for the function pair at positions [(i, j)], [i < j] in
-    the new table. Served from [cur] (shared within this build), else
-    carried over from [prev] when both records are unchanged (ticks
-    [memo_pair_hits]), else computed and recorded (ticks
-    [memo_pair_misses]). *)
+val compute :
+  box:Aqv_num.Region.t -> dim:int -> Aqv_num.Linfun.t -> Aqv_num.Linfun.t -> pair_geom
+(** Pure geometry of a function pair against the whole domain box
+    ([Region.of_domain]): no cache, no counters, safe anywhere —
+    including inside {!Aqv_par.Pool} tasks. *)
+
+val find_geom : use -> i:int -> j:int -> pair_geom option
+(** Carry-over for the pair at positions [(i, j)], [i < j]: the
+    previous index's result, valid exactly when both records are
+    unchanged. Read-only (safe inside pool tasks); ticks
+    [memo_pair_hits] on a carry, [memo_pair_misses] otherwise — the
+    streaming enumerator consults each pair exactly once per build, so
+    per-pair totals are one tick regardless of chunking or pool size. *)
+
+val register_geom : use -> i:int -> j:int -> pair_geom -> unit
+(** Retain a pair's geometry in [cur] for the next rebuild. The
+    enumerator registers {e crossing pairs only} — retaining the
+    non-crossing majority would put the Θ(n²) footprint right back.
+    Mutates [cur]: call only from the sequential path. *)
 
 (** {1 Subdomain FMH snapshots} *)
 

@@ -57,42 +57,52 @@ let fmh_root t id =
 
 (* ------------------------- 1-D sweep build ------------------------- *)
 
-let build_1d ?memo ~storage table itree rdig =
+let build_1d ~crossings ?memo ~storage table itree rdig =
   let fns = Table.functions table in
   let n = Array.length fns in
   let dom = Table.domain table in
   let dlo = Aqv_num.Domain.lo dom 0 and dhi = Aqv_num.Domain.hi dom 0 in
-  (* crossing events strictly inside the domain, keyed by root. The
-     rebuild cache already holds each pair's difference and crossing
-     point (I-tree insertion just walked the same pairs), so the sweep
-     re-derives neither. *)
-  let root_of =
-    match memo with
-    | Some u -> fun i j -> (Memo.geom u ~i ~j fns.(i) fns.(j)).Memo.root1
-    | None ->
-      fun i j ->
-        let diff = Linfun.sub fns.(i) fns.(j) in
-        let a = Linfun.coeff diff 0 and b = Linfun.const diff in
-        if Q.sign a = 0 then None else Some (Q.div (Q.neg b) a)
+  (* crossing events strictly inside the domain, keyed by root — and in
+     1-D a pair crosses the box iff its root lies strictly inside
+     (Region.classify on an interval), so the events are exactly the
+     enumerator's crossing set: the sweep's own Θ(n²) pair walk is
+     gone. The strict-inequality filter is kept as a guard only. *)
+  let events =
+    Array.to_seq crossings.Crossings.pairs
+    |> Seq.filter_map (fun (p : Crossings.pair) ->
+           match p.Crossings.geom.Memo.root1 with
+           | Some root when Q.compare dlo root < 0 && Q.compare root dhi < 0 ->
+             Some (root, p.Crossings.i, p.Crossings.j)
+           | _ -> None)
+    |> Array.of_seq
   in
-  let events = ref [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      match root_of i j with
-      | None -> ()
-      | Some root ->
-        if Q.compare dlo root < 0 && Q.compare root dhi < 0 then
-          events := (root, i, j) :: !events
-    done
-  done;
-  let events = Array.of_list !events in
+  if Array.length events <> Crossings.count crossings then
+    invalid_arg "Sorting.build: crossing set inconsistent with 1-D roots";
   Array.sort (fun (a, _, _) (b, _, _) -> Q.compare a b) events;
-  (* distinct boundaries *)
+  (* distinct boundaries: the events are sorted, so one linear scan
+     dedups them — re-sorting through List.sort_uniq would pay a second
+     Θ(m log m) pass of exact-rational comparisons *)
   let boundaries =
-    Array.to_list events
-    |> List.map (fun (r, _, _) -> r)
-    |> List.sort_uniq Q.compare
-    |> Array.of_list
+    let m = Array.length events in
+    if m = 0 then [||]
+    else begin
+      let distinct = ref 1 in
+      for k = 1 to m - 1 do
+        let p, _, _ = events.(k - 1) and r, _, _ = events.(k) in
+        if Q.compare p r <> 0 then incr distinct
+      done;
+      let first, _, _ = events.(0) in
+      let out = Array.make !distinct first in
+      let w = ref 0 in
+      for k = 1 to m - 1 do
+        let p, _, _ = events.(k - 1) and r, _, _ = events.(k) in
+        if Q.compare p r <> 0 then begin
+          incr w;
+          out.(!w) <- r
+        end
+      done;
+      out
+    end
   in
   let ncells = Array.length boundaries + 1 in
   if ncells <> Itree.leaf_count itree then
@@ -243,7 +253,7 @@ let build_nd ?memo ~pool ~storage table itree rdig =
   | None -> ());
   Array.map fst built
 
-let build ?(storage = Snapshot) ?pool ?rdig ?memo table itree =
+let build ?(storage = Snapshot) ?pool ?rdig ?memo ?crossings table itree =
   if Table.size table < 1 then invalid_arg "Sorting.build: empty table";
   let pool = match pool with Some p -> p | None -> Aqv_par.Pool.default () in
   let rdig =
@@ -257,7 +267,18 @@ let build ?(storage = Snapshot) ?pool ?rdig ?memo table itree =
     | None -> Aqv_par.Pool.parallel_map pool Record.digest (Table.records table)
   in
   let entries =
-    if Table.dim table = 1 then build_1d ?memo ~storage table itree rdig
+    if Table.dim table = 1 then begin
+      (* the sweep consumes the streaming enumerator's crossing set;
+         callers that enumerated up front (Ifmh.build_structure) share
+         that one pass with the I-tree insertion *)
+      let crossings =
+        match crossings with
+        | Some c -> c
+        | None ->
+          Crossings.enumerate ?memo ~pool (Table.domain table) (Table.functions table)
+      in
+      build_1d ~crossings ?memo ~storage table itree rdig
+    end
     else build_nd ?memo ~pool ~storage table itree rdig
   in
   { entries; records = Table.size table; rdig; storage }

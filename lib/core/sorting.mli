@@ -37,6 +37,7 @@ val build :
   ?pool:Aqv_par.Pool.pool ->
   ?rdig:string array ->
   ?memo:Memo.use ->
+  ?crossings:Crossings.t ->
   Aqv_db.Table.t ->
   Itree.t ->
   t
@@ -46,11 +47,17 @@ val build :
     caller that already hashed the records — {!Ifmh.build} does — need
     not pay for it twice; omitted, the digests are computed here.
 
-    [memo] supplies the {!Memo} rebuild cache. The 1-D sweep reads each
-    pair's crossing point from it (shared with the I-tree insertion
-    that just computed them) and carries over the initial cell's
-    FMH-tree; in dimension >= 2 every leaf's FMH-tree is looked up by
-    its sorted id sequence and patched where record digests changed.
+    [crossings] supplies the streaming enumerator's crossing set: in
+    1-D the sweep's boundary events are exactly the crossing pairs
+    (each carries its root), so the old private Θ(n²) pair walk is
+    gone. Omitted in 1-D, the set is enumerated here (through [memo]
+    and [pool] if given) — bit-identical either way; dimension >= 2
+    never needs it.
+
+    [memo] supplies the {!Memo} rebuild cache: the initial 1-D cell's
+    FMH-tree is carried over; in dimension >= 2 every leaf's FMH-tree
+    is looked up by its sorted id sequence and patched where record
+    digests changed.
     FMH entries are consulted and recorded only under [Snapshot]
     storage — [Recompute] trades those hashes for memory on purpose.
     Reuse is bit-identical to hashing from scratch.

@@ -59,7 +59,11 @@ val size_bytes : t -> int
     intersection pair can guard several ancestors, and popular records
     appear in many pairs). The compact codec ships each distinct record
     once and references it by index — an optimization beyond the paper,
-    quantified by the [vo-compact] ablation bench. *)
+    quantified by the [vo-compact] ablation bench. The codec is
+    adaptive: when a VO references no record twice, deduplication would
+    cost more than it saves, so the encoder falls back to the inline
+    form (mode is folded into the leading tag byte) and compact output
+    is never larger than {!encode}'s. *)
 
 val encode_compact : Aqv_util.Wire.writer -> t -> unit
 val decode_compact : Aqv_util.Wire.reader -> t

@@ -40,40 +40,51 @@ let init () =
     w = Array.make 64 0;
   }
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
-
+(* The compression function is the hot loop of the whole system — the
+   Merkle sweep alone runs it tens of millions of times per build — so
+   the rotations are inlined with constant shifts and the array reads
+   are unchecked (all indices are structurally in bounds: [w] and [k]
+   have 64 entries, the caller guarantees 64 bytes at [off]). The high
+   bits that a left shift spills past bit 31 are garbage, but they never
+   reach a result: the low 32 bits of a sum or xor depend only on the
+   low 32 bits of the operands, and every value that lands in [w] or
+   the state is masked at assignment. Output is bit-for-bit the FIPS
+   180-4 reference this replaced. *)
 let compress ctx block off =
   let w = ctx.w in
   for t = 0 to 15 do
     let i = off + (t * 4) in
-    w.(t) <-
-      (Char.code (Bytes.get block i) lsl 24)
-      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
-      lor Char.code (Bytes.get block (i + 3))
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block i) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (i + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (i + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (i + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = (w15 lsr 7) lor (w15 lsl 25) lxor ((w15 lsr 18) lor (w15 lsl 14)) lxor (w15 lsr 3) in
+    let s1 = (w2 lsr 17) lor (w2 lsl 15) lxor ((w2 lsr 19) lor (w2 lsl 13)) lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask32)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = !e land !f lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask32 in
+    let e_ = !e and a_ = !a in
+    let s1 = (e_ lsr 6) lor (e_ lsl 26) lxor ((e_ lsr 11) lor (e_ lsl 21)) lxor ((e_ lsr 25) lor (e_ lsl 7)) in
+    let ch = e_ land !f lxor (lnot e_ land !g) in
+    let t1 = !hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t in
+    let s0 = (a_ lsr 2) lor (a_ lsl 30) lxor ((a_ lsr 13) lor (a_ lsl 19)) lxor ((a_ lsr 22) lor (a_ lsl 10)) in
+    let maj = a_ land !b lxor (a_ land !c) lxor (!b land !c) in
+    let t2 = s0 + maj in
     hh := !g;
     g := !f;
-    f := !e;
+    f := e_;
     e := (!d + t1) land mask32;
     d := !c;
     c := !b;
-    b := !a;
+    b := a_;
     a := (t1 + t2) land mask32
   done;
   h.(0) <- (h.(0) + !a) land mask32;
@@ -141,6 +152,10 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+(* A scratch-context reuse scheme (domain-local or global) is NOT safe
+   here: the serving stack hashes from many systhreads that share one
+   domain, and systhread preemption can land mid-digest. Each call
+   keeps its own context. *)
 let digest_list parts =
   let total = List.fold_left (fun acc s -> acc + String.length s) 0 parts in
   Aqv_util.Metrics.add_hash ~bytes_len:total;

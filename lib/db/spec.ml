@@ -17,6 +17,7 @@ type t = {
   seed : int;
   records : int;
   dims : int;
+  intercept_range : int;
   scheme : scheme;
   clients : int;
   requests_per_client : int;
@@ -65,6 +66,12 @@ let validate (s : t) =
       (Printf.sprintf "must be in [1, %d]" max_records)
   in
   let* () = check (s.dims >= 1 && s.dims <= 4) "dims" "must be in [1, 4]" in
+  let* () =
+    check
+      (s.intercept_range >= 1 && s.intercept_range <= 1_000_000_000)
+      "intercept_range"
+      "must be in [1, 1000000000]"
+  in
   let* () = check (s.clients >= 1 && s.clients <= 64) "clients" "must be in [1, 64]" in
   let* () =
     check (s.requests_per_client >= 1) "requests_per_client" "must be >= 1"
@@ -208,6 +215,7 @@ let of_json json =
     let* seed = req fields "seed" Json.to_int "an integer" in
     let* records = req fields "records" Json.to_int "an integer" in
     let* dims = opt fields "dims" 1 Json.to_int "an integer" in
+    let* intercept_range = opt fields "intercept_range" 1000 Json.to_int "an integer" in
     let* scheme = opt fields "scheme" Multi parse_scheme "\"one\" or \"multi\"" in
     let* clients = req fields "clients" Json.to_int "an integer" in
     let* requests_per_client =
@@ -238,6 +246,7 @@ let of_json json =
         seed;
         records;
         dims;
+        intercept_range;
         scheme;
         clients;
         requests_per_client;
@@ -285,6 +294,7 @@ let to_json (s : t) =
       ("seed", Json.Int s.seed);
       ("records", Json.Int s.records);
       ("dims", Json.Int s.dims);
+      ("intercept_range", Json.Int s.intercept_range);
       ("scheme", Json.String (match s.scheme with One -> "one" | Multi -> "multi"));
       ("clients", Json.Int s.clients);
       ("requests_per_client", Json.Int s.requests_per_client);

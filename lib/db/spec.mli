@@ -40,6 +40,15 @@ type t = {
   seed : int;  (** Fixes the dataset, the hot set, and every trace. *)
   records : int;  (** Dataset size, 1 to 100_000. *)
   dims : int;  (** 1 = univariate lines, >= 2 = scored records. *)
+  intercept_range : int;
+      (** 1-D only: intercept spread of the line family (default 1000).
+          Crossing density — hence index size — scales inversely with
+          it: the default keeps the paper's dense family (crossings
+          ~ 35% of pairs), while large-record specs raise it so the
+          crossing count, and with it construction cost, stays
+          proportional to what the streaming front-end classifies,
+          not to n². Range bounds and KNN targets in the trace scale
+          with it. Ignored when [dims >= 2]. *)
   scheme : scheme;
   clients : int;
   requests_per_client : int;

@@ -103,7 +103,8 @@ end
 
 let table_of_spec (spec : Spec.t) =
   let rng = Prng.create (Int64.of_int spec.Spec.seed) in
-  if spec.Spec.dims = 1 then lines_1d ~n:spec.Spec.records rng
+  if spec.Spec.dims = 1 then
+    lines_1d ~intercept_range:spec.Spec.intercept_range ~n:spec.Spec.records rng
   else scored ~n:spec.Spec.records ~dims:spec.Spec.dims rng
 
 module Trace = struct
@@ -122,10 +123,16 @@ module Trace = struct
 
   (* Score-scale parameters for range bounds and KNN targets, keyed by
      the table family the spec selects: univariate lines score in
-     roughly [-1000, 2000] over x in (0, 1) (slopes up to +-1000,
-     intercepts up to 1000); scored records in [0, 100 * dims]. *)
-  let scale_params ~dims =
-    if dims = 1 then ((0, 400), (50, 400), (0, 1000))
+     roughly [-1000, s + 1000] over x in (0, 1) (slopes up to +-1000,
+     intercepts up to the spec's [intercept_range] s, default 1000);
+     scored records in [0, 100 * dims]. The 1-D bounds scale linearly
+     with s — at the default they reduce to the historical constants
+     ((0, 400), (50, 400), (0, 1000)), keeping every checked-in trace
+     bit-identical. *)
+  let scale_params ~dims ~intercept_range =
+    if dims = 1 then
+      let s = intercept_range in
+      ((0, 2 * s / 5), (s / 20, 2 * s / 5), (0, s))
     else ((0, 40 * dims), (5 * dims, 40 * dims), (0, 50 * dims))
 
   (* Stream derivation offsets: each consumer gets its own Prng seeded
@@ -139,7 +146,7 @@ module Trace = struct
 
   let gen_op (spec : Spec.t) ~dims hot hits zipf rng =
     let (range_lo, range_hi), (width_lo, width_hi), (y_lo, y_hi) =
-      scale_params ~dims
+      scale_params ~dims ~intercept_range:spec.Spec.intercept_range
     in
     let rank = Zipf.sample zipf rng in
     hits.(rank) <- hits.(rank) + 1;

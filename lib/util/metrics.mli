@@ -41,6 +41,24 @@ type snapshot = {
       (** VO fragments served from the content-addressed fragment
           cache (see [Aqv.Fragment]) instead of being reassembled *)
   frag_misses : int;  (** VO fragments assembled from the index *)
+  build_pairs_classified : int;
+      (** function pairs classified against the domain box by the
+          streaming crossing enumerator (see [Aqv.Crossings]): exactly
+          n(n-1)/2 per structure build, regardless of chunking or pool
+          size *)
+  build_pair_chunks : int;
+      (** bounded chunks the enumerator processed — the pair index
+          space is never materialized wholesale *)
+  build_peak_pairs : int;
+      (** high-water mark of pair records live at once in the
+          enumerator: at most (retained crossings) + (one chunk) — the
+          O(#crossings + chunk) memory bound, as a deterministic
+          counter. A mark, not a flow: [diff] reports the later
+          snapshot's value *)
+  build_crossings : int;
+      (** pairs retained because their hyperplane properly crosses the
+          domain box — the only pairs the I-tree insertion and the 1-D
+          sweep ever see *)
 }
 
 val reset : unit -> unit
@@ -70,6 +88,12 @@ val add_memo_fmh_miss : unit -> unit
 val add_locate_sign_tests : int -> unit
 val add_frag_hit : unit -> unit
 val add_frag_miss : unit -> unit
+val add_build_pairs_classified : int -> unit
+val add_build_pair_chunks : int -> unit
+val add_build_crossings : int -> unit
+
+val note_build_peak_pairs : int -> unit
+(** Raise the [build_peak_pairs] high-water mark to [v] if above it. *)
 
 val total_node_visits : snapshot -> int
 (** [itree_nodes + fmh_nodes + mesh_cells]: the paper's "server cost". *)

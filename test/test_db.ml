@@ -190,6 +190,7 @@ let smoke_spec =
     seed = 7;
     records = 60;
     dims = 1;
+    intercept_range = 1000;
     scheme = Spec.Multi;
     clients = 3;
     requests_per_client = 20;
